@@ -1,0 +1,73 @@
+//! # platoon-attacks
+//!
+//! The canonical attack suite against vehicular platoon communication —
+//! every attack catalogued by Taylor et al., *"Vehicular Platoon
+//! Communication: Cybersecurity Threats and Open Challenges"* (DSN-W 2021),
+//! Table II, implemented as a pluggable [`Attack`](platoon_sim::attack::Attack)
+//! for the `platoon-sim` engine:
+//!
+//! | Module | Paper row | Attribute compromised |
+//! |---|---|---|
+//! | [`replay`] | Replay | integrity |
+//! | [`sybil`] | Sybil attack | authenticity |
+//! | [`fake_maneuver`] | Fake manoeuvre | integrity |
+//! | [`jamming`] | Jamming | availability |
+//! | [`eavesdrop`] | Eavesdropping | confidentiality |
+//! | [`dos`] | Denial of Service | availability |
+//! | [`impersonation`] | Impersonation | integrity |
+//! | [`gps_spoof`] / [`sensor_spoof`] | Jamming & spoofing sensors | authenticity |
+//! | [`malware`] | Malware | availability |
+//! | [`falsification`] | FDI from an insider (§V-A) | integrity |
+//!
+//! [`registry`] holds Table II as data, binding each row to its
+//! implementation and to the experiment that reproduces its claimed effect.
+//!
+//! # Examples
+//!
+//! ```
+//! use platoon_attacks::prelude::*;
+//! use platoon_sim::prelude::*;
+//!
+//! let scenario = Scenario::builder().vehicles(5).duration(20.0).build();
+//! let mut engine = Engine::new(scenario);
+//! engine.add_attack(Box::new(ReplayAttack::new(ReplayConfig {
+//!     replay_from: 8.0,
+//!     ..Default::default()
+//! })));
+//! let summary = engine.run();
+//! assert!(summary.oscillation_energy > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dos;
+pub mod eavesdrop;
+pub mod fake_maneuver;
+pub mod falsification;
+pub mod gps_spoof;
+pub mod impersonation;
+pub mod jamming;
+pub mod malware;
+pub mod registry;
+pub mod replay;
+pub mod sensor_spoof;
+pub mod sybil;
+
+/// Convenient glob-import of every attack and its configuration.
+pub mod prelude {
+    pub use crate::dos::{JoinFloodAttack, JoinFloodConfig};
+    pub use crate::eavesdrop::{EavesdropAttack, EavesdropConfig, TrackPoint};
+    pub use crate::fake_maneuver::{FakeManeuverAttack, FakeManeuverConfig, ManeuverForgery};
+    pub use crate::falsification::{BeaconLieConfig, FalsificationAttack, FalsificationConfig};
+    pub use crate::gps_spoof::{GpsSpoofAttack, GpsSpoofConfig};
+    pub use crate::impersonation::{ImpersonationAttack, ImpersonationConfig};
+    pub use crate::jamming::{JammingAttack, JammingConfig};
+    pub use crate::malware::{MalwareAttack, MalwareConfig, MalwarePayload};
+    pub use crate::registry::{
+        catalog as attack_catalog, descriptor as attack_descriptor, Asset, AttackDescriptor,
+    };
+    pub use crate::replay::{ReplayAttack, ReplayConfig};
+    pub use crate::sensor_spoof::{SensorAttackMode, SensorSpoofAttack, SensorSpoofConfig};
+    pub use crate::sybil::{SybilAttack, SybilConfig};
+}

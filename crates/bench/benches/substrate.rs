@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the substrates: crypto primitives, the
+//! wire codec, the radio medium and the full engine step — the costs that
+//! bound how large a platoon the simulator (and, by proxy, an on-board
+//! security stack) can sustain.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use platoon_crypto::cert::PrincipalId;
+use platoon_crypto::hmac::hmac_sha256;
+use platoon_crypto::keys::KeyPair;
+use platoon_crypto::sha256::Sha256;
+use platoon_crypto::signature::Signer;
+use platoon_proto::envelope::Envelope;
+use platoon_proto::messages::{Beacon, PlatoonId, PlatoonMessage, Role};
+use platoon_sim::prelude::*;
+
+fn beacon_msg() -> PlatoonMessage {
+    PlatoonMessage::Beacon(Beacon {
+        sender: PrincipalId(1),
+        platoon: PlatoonId(1),
+        role: Role::Member,
+        seq: 42,
+        timestamp: 12.5,
+        position: 130.25,
+        speed: 24.9,
+        accel: -0.3,
+        length: 16.5,
+    })
+}
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data = vec![0xA5u8; 256];
+    g.bench_function("sha256_256B", |b| b.iter(|| Sha256::digest(&data)));
+    g.bench_function("hmac_sha256_256B", |b| {
+        b.iter(|| hmac_sha256(b"key", &data))
+    });
+    let signer = Signer::new(KeyPair::from_seed(7));
+    g.bench_function("schnorr_sign", |b| {
+        b.iter(|| signer.sign_deterministic(&data))
+    });
+    let sig = signer.sign_deterministic(&data);
+    g.bench_function("schnorr_verify", |b| {
+        b.iter(|| sig.verify(&signer.public(), &data))
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let msg = beacon_msg();
+    g.bench_function("beacon_encode", |b| b.iter(|| msg.encode()));
+    let bytes = msg.encode();
+    g.bench_function("beacon_decode", |b| {
+        b.iter(|| PlatoonMessage::decode(&bytes))
+    });
+    let key = platoon_crypto::keys::SymmetricKey::derive(b"k", "bench");
+    g.bench_function("envelope_mac_seal", |b| {
+        b.iter(|| Envelope::mac(PrincipalId(1), &msg, &key))
+    });
+    let env = Envelope::mac(PrincipalId(1), &msg, &key);
+    g.bench_function("envelope_mac_verify", |b| b.iter(|| env.verify_mac(&key)));
+    g.finish();
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(20);
+    for n in [4usize, 8, 16] {
+        g.bench_function(format!("step_{n}_vehicles"), |b| {
+            b.iter_batched(
+                || {
+                    Engine::new(
+                        Scenario::builder()
+                            .vehicles(n)
+                            .max_platoon_size(n.max(16))
+                            .duration(10.0)
+                            .build(),
+                    )
+                },
+                |mut engine| {
+                    for _ in 0..10 {
+                        engine.step();
+                    }
+                    engine
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("run_60s_8_vehicles_pki", |b| {
+        b.iter(|| {
+            Engine::new(
+                Scenario::builder()
+                    .vehicles(8)
+                    .duration(60.0)
+                    .auth(AuthMode::Pki)
+                    .build(),
+            )
+            .run()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crypto, bench_codec, bench_engine);
+criterion_main!(benches);

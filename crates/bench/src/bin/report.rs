@@ -1,0 +1,27 @@
+//! Regenerates every table and figure of the reproduction.
+//!
+//! ```text
+//! cargo run --release -p platoon-bench --bin report           # full effort
+//! cargo run --release -p platoon-bench --bin report -- --quick
+//! ```
+
+fn main() {
+    let mut quick = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                eprintln!("usage: report [--quick]");
+                eprintln!("  --quick   shorter runs and fewer sweep points");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let effort = if quick { "quick" } else { "full" };
+    eprintln!("regenerating all tables and figures ({effort} effort)...");
+    print!("{}", platoon_bench::full_report(quick));
+}

@@ -1,0 +1,382 @@
+//! Ablation studies for the design choices DESIGN.md §4 calls out:
+//! detector components, trust forgetting, hybrid validation policy and the
+//! controller family's graceful degradation.
+
+use super::common::{base_scenario, brake_profile, Effort};
+use crate::tables::{num, TextTable};
+use platoon_attacks::prelude::*;
+use platoon_defense::prelude::*;
+use platoon_sim::prelude::*;
+
+/// A1 — VPD-ADA component ablation: which detector component catches which
+/// attack (§VI-A.3 / F6).
+pub fn ablation_vpd_components(quick: bool) -> TextTable {
+    let effort = Effort::new(quick);
+    let arms: [(&str, VpdAdaConfig); 4] = [
+        ("full (strict)", VpdAdaConfig::strict()),
+        (
+            "no RSSI check",
+            VpdAdaConfig {
+                rssi_check: false,
+                ..VpdAdaConfig::strict()
+            },
+        ),
+        (
+            "no co-location check",
+            VpdAdaConfig {
+                colocation_check: false,
+                ..VpdAdaConfig::strict()
+            },
+        ),
+        (
+            "no sensor fusion",
+            VpdAdaConfig {
+                sensor_fusion_check: false,
+                ..VpdAdaConfig::strict()
+            },
+        ),
+    ];
+
+    let mut t = TextTable::new(
+        "A1 — VPD-ADA component ablation",
+        &[
+            "Detector variant",
+            "Sybil phantoms",
+            "GPS-spoof latency (s)",
+            "Radar-spoof min gap (m)",
+        ],
+    );
+    for (name, cfg) in arms {
+        // Sybil: phantom members admitted.
+        let mut sybil = Engine::new(base_scenario(&format!("A1/{name}/sybil"), effort).build());
+        sybil.add_attack(Box::new(SybilAttack::new(SybilConfig {
+            start: effort.duration * 0.15,
+            ..Default::default()
+        })));
+        sybil.add_defense(Box::new(VpdAdaDefense::new(cfg)));
+        sybil.run();
+        let phantoms =
+            sybil.maneuvers().roster().len() as f64 - sybil.world().vehicles.len() as f64;
+
+        // GPS spoof: detection latency.
+        let start = effort.duration * 0.2;
+        let mut gps = Engine::new(base_scenario(&format!("A1/{name}/gps"), effort).build());
+        gps.add_attack(Box::new(GpsSpoofAttack::new(GpsSpoofConfig {
+            start,
+            ..Default::default()
+        })));
+        gps.add_defense(Box::new(VpdAdaDefense::new(cfg)));
+        gps.run();
+        let latency = gps.defenses()[0]
+            .as_any()
+            .downcast_ref::<VpdAdaDefense>()
+            .unwrap()
+            .detection_latency(platoon_crypto::cert::PrincipalId(2), start)
+            .unwrap_or(f64::INFINITY);
+
+        // Radar spoof: surviving safety margin.
+        let mut radar = Engine::new(base_scenario(&format!("A1/{name}/radar"), effort).build());
+        radar.add_attack(Box::new(SensorSpoofAttack::new(SensorSpoofConfig {
+            mode: SensorAttackMode::Spoof { bias: 15.0 },
+            start,
+            ..Default::default()
+        })));
+        radar.add_defense(Box::new(VpdAdaDefense::new(cfg)));
+        let s = radar.run();
+
+        t.row(vec![
+            name.to_string(),
+            num(phantoms.max(0.0), 0),
+            num(latency, 1),
+            num(s.min_gap, 1),
+        ]);
+    }
+    t
+}
+
+/// A2 — trust forgetting-factor ablation (§VI-B.3 / F8): faster forgetting
+/// evicts faster but forgives attackers sooner; no forgetting builds trust
+/// inertia.
+pub fn ablation_trust_halflife(quick: bool) -> TextTable {
+    let effort = Effort::new(quick);
+    let factors = [1.0, 0.999, 0.995, 0.98];
+    let mut t = TextTable::new(
+        "A2 — trust forgetting-factor ablation (impersonation from 30% of the run)",
+        &[
+            "Forgetting/s",
+            "Victim evicted",
+            "Eviction latency (s)",
+            "Honest detections",
+        ],
+    );
+    for f in factors {
+        let cfg = TrustConfig {
+            forgetting_per_second: f,
+            ..Default::default()
+        };
+        let start = effort.duration * 0.3;
+        let mut engine = Engine::new(base_scenario(&format!("A2/{f}"), effort).build());
+        engine.add_attack(Box::new(ImpersonationAttack::new(ImpersonationConfig {
+            start,
+            duration: effort.duration * 0.4,
+            ..Default::default()
+        })));
+        engine.add_defense(Box::new(TrustDefense::new(cfg)));
+        engine.run();
+        let trust = engine.defenses()[0]
+            .as_any()
+            .downcast_ref::<TrustDefense>()
+            .unwrap();
+        let victim = platoon_crypto::cert::PrincipalId(1);
+        let eviction = trust
+            .evicted()
+            .iter()
+            .find(|(id, _)| *id == victim)
+            .map(|(_, t)| t - start);
+
+        let mut honest = Engine::new(base_scenario(&format!("A2/{f}/honest"), effort).build());
+        honest.add_defense(Box::new(TrustDefense::new(cfg)));
+        let hs = honest.run();
+
+        t.row(vec![
+            format!("{f}"),
+            if eviction.is_some() { "yes" } else { "no" }.to_string(),
+            eviction
+                .map(|l| num(l, 1))
+                .unwrap_or_else(|| "-".to_string()),
+            hs.detections.to_string(),
+        ]);
+    }
+    t
+}
+
+/// A3 — hybrid validation policy ablation (§VI-A.4 / F2, F5): AND-validation
+/// blocks injection but costs single-channel availability; OR-fallback keeps
+/// availability but provides no injection protection.
+pub fn ablation_hybrid_policy(quick: bool) -> TextTable {
+    let effort = Effort::new(quick);
+    let arms: [(&str, Option<HybridPolicy>); 3] = [
+        ("no cross-validation", None),
+        ("AND (SP-VLC)", Some(HybridPolicy::RequireBoth)),
+        ("OR fallback", Some(HybridPolicy::EitherChannel)),
+    ];
+    let mut t = TextTable::new(
+        "A3 — hybrid validation policy ablation",
+        &["Policy", "Forged-split fragmentation", "Jammed max err (m)"],
+    );
+    for (name, policy) in arms {
+        // Forged split on the RF side.
+        let mut forged = Engine::new(
+            base_scenario(&format!("A3/{name}/forged"), effort)
+                .comms(CommsMode::HybridVlc)
+                .build(),
+        );
+        forged.add_attack(Box::new(FakeManeuverAttack::new(FakeManeuverConfig {
+            inject_at: effort.duration * 0.2,
+            ..Default::default()
+        })));
+        if let Some(p) = policy {
+            forged.add_defense(Box::new(HybridConfirmDefense::new(HybridConfig {
+                policy: p,
+                ..Default::default()
+            })));
+        }
+        let fs = forged.run();
+
+        // RF jamming.
+        let mut jammed = Engine::new(
+            base_scenario(&format!("A3/{name}/jammed"), effort)
+                .comms(CommsMode::HybridVlc)
+                .build(),
+        );
+        jammed.add_attack(Box::new(JammingAttack::new(JammingConfig {
+            start: effort.duration * 0.2,
+            ..Default::default()
+        })));
+        if let Some(p) = policy {
+            jammed.add_defense(Box::new(HybridConfirmDefense::new(HybridConfig {
+                policy: p,
+                ..Default::default()
+            })));
+        }
+        let js = jammed.run();
+
+        t.row(vec![
+            name.to_string(),
+            num(fs.fragmented_fraction, 2),
+            num(js.max_spacing_error, 1),
+        ]);
+    }
+    t
+}
+
+/// A4 — controller-family degradation ablation (F2): how each controller
+/// family weathers the same jamming attack, and what it costs in clean
+/// spacing.
+pub fn ablation_controllers(quick: bool) -> TextTable {
+    let effort = Effort::new(quick);
+    let kinds = [
+        ControllerKind::Cacc,
+        ControllerKind::Ploeg,
+        ControllerKind::Consensus,
+        ControllerKind::Acc,
+    ];
+    let mut t = TextTable::new(
+        "A4 — controller degradation under jamming",
+        &[
+            "Controller",
+            "Clean mean |err| (m)",
+            "Jammed mean |err| (m)",
+            "Jammed collisions",
+        ],
+    );
+    for kind in kinds {
+        let clean = Engine::new(
+            base_scenario(&format!("A4/{kind:?}/clean"), effort)
+                .controller(kind)
+                .build(),
+        )
+        .run();
+        let mut jammed = Engine::new(
+            base_scenario(&format!("A4/{kind:?}/jam"), effort)
+                .controller(kind)
+                .build(),
+        );
+        jammed.add_attack(Box::new(JammingAttack::new(JammingConfig {
+            start: effort.duration * 0.2,
+            ..Default::default()
+        })));
+        let js = jammed.run();
+        t.row(vec![
+            format!("{kind:?}"),
+            num(clean.mean_abs_spacing_error, 2),
+            num(js.mean_abs_spacing_error, 2),
+            js.collisions.to_string(),
+        ]);
+    }
+    t
+}
+
+/// A5 — replay-workload ablation: the attack's leverage depends on what it
+/// managed to record (cruise-only data is far less damaging than a recorded
+/// braking manoeuvre — the §V-A.1 "close the gap"/"back off" conflict).
+pub fn ablation_replay_workload(quick: bool) -> TextTable {
+    let effort = Effort::new(quick);
+    let mut t = TextTable::new(
+        "A5 — replay leverage vs recorded workload",
+        &[
+            "Workload recorded",
+            "Baseline energy",
+            "Attacked energy",
+            "Added energy",
+        ],
+    );
+    let arms: [(&str, bool); 2] = [("steady cruise", false), ("braking manoeuvre", true)];
+    for (name, brake) in arms {
+        let build = |label: &str| {
+            let mut b = base_scenario(label, effort);
+            if brake {
+                b = b.profile(brake_profile());
+            }
+            b.build()
+        };
+        let baseline = Engine::new(build(&format!("A5/{name}/base"))).run();
+        let mut attacked = Engine::new(build(&format!("A5/{name}/attack")));
+        attacked.add_attack(Box::new(ReplayAttack::new(ReplayConfig {
+            replay_from: effort.duration * 0.25,
+            ..Default::default()
+        })));
+        let s = attacked.run();
+        t.row(vec![
+            name.to_string(),
+            num(baseline.oscillation_energy, 0),
+            num(s.oscillation_energy, 0),
+            num(
+                (s.oscillation_energy - baseline.oscillation_energy).max(0.0),
+                0,
+            ),
+        ]);
+    }
+    t
+}
+
+/// All ablation tables in order.
+pub fn all_ablations(quick: bool) -> Vec<TextTable> {
+    vec![
+        ablation_vpd_components(quick),
+        ablation_trust_halflife(quick),
+        ablation_hybrid_policy(quick),
+        ablation_controllers(quick),
+        ablation_replay_workload(quick),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpd_ablation_shows_component_roles() {
+        let t = ablation_vpd_components(true);
+        assert_eq!(t.len(), 4);
+        let rendered = t.render();
+        assert!(rendered.contains("full"));
+
+        // The full variant admits no phantoms.
+        let full_row = &t.rows[0];
+        assert_eq!(
+            full_row[1], "0",
+            "full detector blocks all phantoms: {full_row:?}"
+        );
+        assert!(rendered.contains("strict"));
+    }
+
+    #[test]
+    fn trust_ablation_shows_inertia_tradeoff() {
+        let t = ablation_trust_halflife(true);
+        assert_eq!(t.len(), 4);
+        // Every variant must stay quiet on honest traffic.
+        for row in &t.rows {
+            assert_eq!(row[3], "0", "honest detections must be zero: {row:?}");
+        }
+        // At least one variant evicts the impersonated victim.
+        assert!(
+            t.rows.iter().any(|r| r[1] == "yes"),
+            "some forgetting factor must evict: {:?}",
+            t.rows
+        );
+    }
+
+    #[test]
+    fn hybrid_ablation_shows_policy_tradeoff() {
+        let t = ablation_hybrid_policy(true);
+        let frag = |i: usize| t.rows[i][1].parse::<f64>().unwrap();
+        assert!(frag(0) > 0.5, "no validation → forged split works");
+        assert!(frag(1) < 0.01, "AND policy blocks the forgery");
+        assert!(frag(2) > 0.5, "OR policy does not");
+    }
+
+    #[test]
+    fn controller_ablation_ranks_cacc_tightest() {
+        let t = ablation_controllers(true);
+        let clean = |i: usize| t.rows[i][1].parse::<f64>().unwrap();
+        // CACC (row 0) tracks tighter than ACC (row 3) in the clean run.
+        assert!(clean(0) < clean(3), "CACC {} !< ACC {}", clean(0), clean(3));
+        // Nobody crashes under jamming.
+        for row in &t.rows {
+            assert_eq!(row[3], "0", "jamming must not crash {row:?}");
+        }
+    }
+
+    #[test]
+    fn replay_workload_ablation_shows_braking_leverage() {
+        let t = ablation_replay_workload(true);
+        let added = |i: usize| t.rows[i][3].parse::<f64>().unwrap();
+        assert!(
+            added(1) > 5.0 * added(0),
+            "recorded braking must add far more disturbance: cruise {} vs brake {}",
+            added(0),
+            added(1)
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! Experiment T2: Table II backed by measurements.
+//!
+//! The paper's Table II asserts, per attack, which security attribute is
+//! compromised and what happens to the platoon. This experiment runs every
+//! catalogued attack against the canonical platoon and reports the measured
+//! impact next to a clean baseline — turning the table's prose claims into
+//! numbers.
+
+use super::common::{impact_of, impact_unit, run_arm, Effort};
+use crate::tables::{num, TextTable};
+use serde::Serialize;
+
+/// Measured result for one Table II row.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Table2Row {
+    /// Attack machine name.
+    pub attack: String,
+    /// Display name (paper row).
+    pub display_name: String,
+    /// Compromised attribute.
+    pub attribute: String,
+    /// Impact metric name.
+    pub metric: &'static str,
+    /// Impact with the attack active.
+    pub attacked: f64,
+    /// Impact of the clean baseline (same metric).
+    pub baseline: f64,
+}
+
+/// Runs the full Table II measurement.
+pub fn run(quick: bool) -> Vec<Table2Row> {
+    let effort = Effort::new(quick);
+    let mut rows = Vec::new();
+    for desc in platoon_attacks::registry::catalog() {
+        // The sensor row covers both radar spoofing and GPS spoofing; run
+        // the radar variant here (the GPS variant is F6's subject).
+        let attack = desc.name;
+        let (engine, summary) = run_arm(attack, None, effort);
+        let attacked = impact_of(attack, &engine, &summary);
+
+        // Baseline: same scenario, no attack (except the DoS baseline which
+        // keeps the legitimate joiner so the metric is comparable).
+        let baseline = baseline_impact(attack, effort);
+
+        rows.push(Table2Row {
+            attack: attack.to_string(),
+            display_name: desc.display_name.to_string(),
+            attribute: desc.attribute.to_string(),
+            metric: impact_unit(attack),
+            attacked,
+            baseline,
+        });
+    }
+    rows
+}
+
+fn baseline_impact(attack: &str, effort: Effort) -> f64 {
+    use super::common::{base_scenario, brake_profile, legit_joiner};
+    use platoon_sim::prelude::Engine;
+
+    let mut builder = base_scenario(&format!("{attack}/baseline"), effort);
+    if matches!(attack, "replay" | "insider-fdi") {
+        builder = builder.profile(brake_profile());
+    }
+    let mut engine = Engine::new(builder.build());
+    if attack == "dos-join-flood" {
+        engine.add_attack(Box::new(legit_joiner(effort.duration * 0.25)));
+    }
+    if attack == "eavesdrop" {
+        // The baseline for confidentiality is "the eavesdropper exists but
+        // the platoon encrypts": measured in F7; here the clean baseline is
+        // simply zero beacons read (no listener).
+        return 0.0;
+    }
+    let summary = engine.run();
+    impact_of(attack, &engine, &summary)
+}
+
+/// Renders the measured Table II.
+pub fn render(rows: &[Table2Row]) -> TextTable {
+    let mut t = TextTable::new(
+        "Table II (measured) — attacks on platoons, attribute compromised, measured impact",
+        &[
+            "Attack",
+            "Attribute",
+            "Impact metric",
+            "Baseline",
+            "Attacked",
+            "Ratio",
+        ],
+    );
+    for r in rows {
+        let ratio = if r.baseline.abs() > 1e-9 {
+            num(r.attacked / r.baseline, 1)
+        } else if r.attacked.abs() < 1e-9 {
+            "1.0".to_string()
+        } else {
+            "inf".to_string()
+        };
+        t.row(vec![
+            r.display_name.clone(),
+            r.attribute.clone(),
+            r.metric.to_string(),
+            num(r.baseline, 2),
+            num(r.attacked, 2),
+            ratio,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_attack_shows_measured_impact_above_baseline() {
+        let rows = run(true);
+        assert_eq!(rows.len(), platoon_attacks::registry::catalog().len());
+        for r in &rows {
+            assert!(
+                r.attacked > r.baseline,
+                "{} must measurably hurt: attacked {} vs baseline {}",
+                r.attack,
+                r.attacked,
+                r.baseline
+            );
+        }
+        let rendered = render(&rows).render();
+        assert!(rendered.contains("Sybil"));
+        assert!(rendered.contains("Jamming"));
+    }
+}

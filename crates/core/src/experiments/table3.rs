@@ -1,0 +1,171 @@
+//! Experiment T3: Table III backed by measurements.
+//!
+//! For every (mechanism, attack) pair the paper's Table III claims the
+//! mechanism mitigates, run the attack with and without the mechanism and
+//! report the **mitigation factor** — defended impact divided by undefended
+//! impact (lower is better; 1.0 = no effect).
+
+use super::common::{impact_of, run_arm, Effort};
+use crate::tables::{num, TextTable};
+use serde::Serialize;
+
+/// Measured result for one (mechanism, attack) cell.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Table3Cell {
+    /// Mechanism machine name.
+    pub mechanism: String,
+    /// Attack machine name.
+    pub attack: String,
+    /// Undefended impact.
+    pub undefended: f64,
+    /// Defended impact.
+    pub defended: f64,
+}
+
+impl Table3Cell {
+    /// Defended ÷ undefended impact (0 = fully mitigated, 1 = no effect).
+    pub fn mitigation_factor(&self) -> f64 {
+        if self.undefended.abs() < 1e-9 {
+            return if self.defended.abs() < 1e-9 {
+                0.0
+            } else {
+                f64::INFINITY
+            };
+        }
+        self.defended / self.undefended
+    }
+}
+
+/// Mechanism override for specific pairs where the generic mapping needs a
+/// variant (e.g. confidentiality requires the encrypting key mode).
+fn mechanism_variant(mechanism: &str, attack: &str) -> String {
+    match (mechanism, attack) {
+        ("keys", "eavesdrop") => "keys-encrypted".to_string(),
+        // Control algorithms split into detection (VPD-ADA [10]) and
+        // resilience ([7]); replay and insider FDI are the resilience cases
+        // (their forged streams carry honest identities, so eviction-style
+        // detection would trade the attack for radar fallback).
+        ("control-algorithms", "replay") | ("control-algorithms", "insider-fdi") => {
+            "control-mitigation".to_string()
+        }
+        _ => mechanism.to_string(),
+    }
+}
+
+/// Runs the full Table III matrix.
+pub fn run(quick: bool) -> Vec<Table3Cell> {
+    let effort = Effort::new(quick);
+    let mut cells = Vec::new();
+    for mech in platoon_defense::registry::catalog() {
+        for attack in mech.mitigates {
+            let variant = mechanism_variant(mech.name, attack);
+            let (u_engine, u_summary) = run_arm(attack, None, effort);
+            let undefended = impact_of(attack, &u_engine, &u_summary);
+            let (d_engine, d_summary) = run_arm(attack, Some(&variant), effort);
+            let defended = impact_of(attack, &d_engine, &d_summary);
+            cells.push(Table3Cell {
+                mechanism: mech.name.to_string(),
+                attack: attack.to_string(),
+                undefended,
+                defended,
+            });
+        }
+        // The "keys" row also claims eavesdropping protection (encryption).
+        if mech.name == "keys" && !mech.mitigates.contains(&"eavesdrop") {
+            let (u_engine, u_summary) = run_arm("eavesdrop", None, effort);
+            let undefended = impact_of("eavesdrop", &u_engine, &u_summary);
+            let (d_engine, d_summary) = run_arm("eavesdrop", Some("keys-encrypted"), effort);
+            let defended = impact_of("eavesdrop", &d_engine, &d_summary);
+            cells.push(Table3Cell {
+                mechanism: "keys".to_string(),
+                attack: "eavesdrop".to_string(),
+                undefended,
+                defended,
+            });
+        }
+    }
+    cells
+}
+
+/// Renders the measured Table III.
+pub fn render(cells: &[Table3Cell]) -> TextTable {
+    let mut t = TextTable::new(
+        "Table III (measured) — mechanism × attack mitigation factors (defended/undefended; lower is better)",
+        &["Mechanism", "Attack", "Undefended", "Defended", "Mitigation factor"],
+    );
+    for c in cells {
+        t.row(vec![
+            c.mechanism.clone(),
+            c.attack.clone(),
+            num(c.undefended, 2),
+            num(c.defended, 2),
+            num(c.mitigation_factor(), 2),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pairs for which the mechanism is expected to be strongly effective
+    /// (mitigation factor well below 1). Some claimed pairs in the paper are
+    /// weaker (e.g. PKI vs replay without freshness would be 1.0 — our
+    /// "keys" arm includes anti-replay, so it is strong).
+    const STRONG_PAIRS: &[(&str, &str)] = &[
+        ("keys", "replay"),
+        ("keys", "sybil"),
+        ("keys", "fake-maneuver"),
+        ("keys", "impersonation"),
+        ("keys", "eavesdrop"),
+        ("keys", "dos-join-flood"),
+        ("rsu-gatekeeper", "dos-join-flood"),
+        ("rsu-gatekeeper", "sybil"),
+        // NOT listed: (rsu-gatekeeper, impersonation). The RSU behaviour
+        // monitor *detects* the impersonated stream (see the defense tests)
+        // but inline mitigation is impossible without knowing which frame
+        // is genuine — the remedy is TA revocation, i.e. the "keys" row.
+        // The matrix reports its honest ≈1.0 factor.
+        ("control-algorithms", "replay"),
+        ("hybrid-sp-vlc", "jamming"),
+        ("hybrid-sp-vlc", "fake-maneuver"),
+        ("onboard-hardening", "malware"),
+    ];
+
+    #[test]
+    fn strong_pairs_mitigate_substantially() {
+        let cells = run(true);
+        for (mech, attack) in STRONG_PAIRS {
+            let cell = cells
+                .iter()
+                .find(|c| c.mechanism == *mech && c.attack == *attack)
+                .unwrap_or_else(|| panic!("missing cell {mech}×{attack}"));
+            assert!(
+                cell.mitigation_factor() < 0.6,
+                "{mech} vs {attack}: factor {} (u {}, d {})",
+                cell.mitigation_factor(),
+                cell.undefended,
+                cell.defended
+            );
+        }
+    }
+
+    #[test]
+    fn matrix_covers_every_claimed_pair() {
+        let cells = run(true);
+        for mech in platoon_defense::registry::catalog() {
+            for attack in mech.mitigates {
+                assert!(
+                    cells
+                        .iter()
+                        .any(|c| c.mechanism == mech.name && c.attack == *attack),
+                    "missing {0}×{attack}",
+                    mech.name
+                );
+            }
+        }
+        let rendered = render(&cells).render();
+        assert!(rendered.contains("Mitigation factor"));
+    }
+}

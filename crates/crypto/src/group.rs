@@ -1,0 +1,138 @@
+//! Modular arithmetic over the Mersenne prime `p = 2^61 - 1`.
+//!
+//! The Schnorr-style signatures in [`crate::signature`] operate in the
+//! multiplicative group of this field. A 61-bit group is trivially breakable
+//! by a real adversary; it is used here because the repository's experiments
+//! measure *protocol-level* security economics (what an attacker can do with
+//! or without valid credentials), never bit-strength. The group API mirrors
+//! what a production deployment would get from an elliptic-curve library, so
+//! swapping in a real group is a local change.
+
+/// The group modulus: the Mersenne prime `2^61 - 1`.
+pub const P: u64 = (1 << 61) - 1;
+
+/// Order of the multiplicative group, `p - 1`.
+pub const GROUP_ORDER: u64 = P - 1;
+
+/// A fixed generator of a large subgroup of `(Z/pZ)*`.
+///
+/// 3 is a primitive root candidate with small encoding; its exact subgroup
+/// order is irrelevant for the simulation-grade guarantees documented above.
+pub const G: u64 = 3;
+
+/// Reduces `x` modulo [`P`].
+#[inline]
+pub fn reduce(x: u64) -> u64 {
+    x % P
+}
+
+/// Modular addition in the field.
+#[inline]
+pub fn add(a: u64, b: u64) -> u64 {
+    let s = (a as u128 + b as u128) % P as u128;
+    s as u64
+}
+
+/// Modular subtraction in the field.
+#[inline]
+pub fn sub(a: u64, b: u64) -> u64 {
+    let s = (a as u128 + P as u128 - (b % P) as u128) % P as u128;
+    s as u64
+}
+
+/// Modular multiplication in the field.
+#[inline]
+pub fn mul(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % P as u128) as u64
+}
+
+/// Modular exponentiation `base^exp mod p` by square-and-multiply.
+pub fn pow(base: u64, mut exp: u64) -> u64 {
+    let mut base = base % P;
+    let mut acc: u64 = 1;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul(acc, base);
+        }
+        base = mul(base, base);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Addition modulo the group order (used for Schnorr exponent arithmetic).
+#[inline]
+pub fn add_exp(a: u64, b: u64) -> u64 {
+    ((a as u128 + b as u128) % GROUP_ORDER as u128) as u64
+}
+
+/// Multiplication modulo the group order.
+#[inline]
+pub fn mul_exp(a: u64, b: u64) -> u64 {
+    ((a as u128 * b as u128) % GROUP_ORDER as u128) as u64
+}
+
+/// Reduces a scalar into the exponent range `[0, GROUP_ORDER)`.
+#[inline]
+pub fn reduce_exp(x: u64) -> u64 {
+    x % GROUP_ORDER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_is_mersenne_61() {
+        assert_eq!(P, 2305843009213693951);
+    }
+
+    #[test]
+    fn add_wraps_correctly() {
+        assert_eq!(add(P - 1, 1), 0);
+        assert_eq!(add(P - 1, 2), 1);
+        assert_eq!(add(5, 7), 12);
+    }
+
+    #[test]
+    fn sub_wraps_correctly() {
+        assert_eq!(sub(0, 1), P - 1);
+        assert_eq!(sub(10, 3), 7);
+    }
+
+    #[test]
+    fn mul_matches_small_cases() {
+        assert_eq!(mul(3, 4), 12);
+        // (p-1)^2 mod p == 1 since p-1 ≡ -1
+        assert_eq!(mul(P - 1, P - 1), 1);
+    }
+
+    #[test]
+    fn pow_basic_identities() {
+        assert_eq!(pow(G, 0), 1);
+        assert_eq!(pow(G, 1), G);
+        assert_eq!(pow(G, 2), 9);
+        assert_eq!(pow(0, 5), 0);
+    }
+
+    #[test]
+    fn fermat_little_theorem() {
+        // a^(p-1) == 1 mod p for a not divisible by p.
+        for a in [2u64, 3, 17, 123_456_789, P - 2] {
+            assert_eq!(pow(a, P - 1), 1, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn pow_is_homomorphic_in_exponent() {
+        let (x, y) = (1_234_567u64, 7_654_321u64);
+        assert_eq!(mul(pow(G, x), pow(G, y)), pow(G, add_exp(x, y)));
+    }
+
+    #[test]
+    fn exp_arithmetic_wraps_at_group_order() {
+        assert_eq!(add_exp(GROUP_ORDER - 1, 1), 0);
+        assert_eq!(mul_exp(GROUP_ORDER - 1, 2), GROUP_ORDER - 2);
+        assert_eq!(reduce_exp(GROUP_ORDER + 5), 5);
+    }
+}

@@ -1,0 +1,218 @@
+//! HMAC-SHA256 message authentication (RFC 2104), built on [`crate::sha256`].
+//!
+//! HMAC is the workhorse of the platoon security mechanisms: symmetric-key
+//! beacon authentication (the "secret keys" mechanism of Table III in the
+//! paper), key derivation for the fading-channel key agreement, and the
+//! keyed challenge/response used by RSU-issued session keys.
+//!
+//! # Examples
+//!
+//! ```
+//! use platoon_crypto::hmac::hmac_sha256;
+//!
+//! let tag = hmac_sha256(b"shared platoon key", b"CAM beacon payload");
+//! let tag2 = hmac_sha256(b"shared platoon key", b"CAM beacon payload");
+//! assert_eq!(tag, tag2);
+//! ```
+
+use crate::sha256::{Digest, Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the 64-byte SHA-256 block are first hashed, per RFC 2104.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut mac = HmacSha256::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Constant-time comparison of two MAC tags.
+///
+/// Simulation-grade: it avoids the obvious early-exit timing channel, which
+/// is enough for the experiments in this repository to be honest about what
+/// an attacker can and cannot observe.
+pub fn verify_hmac_sha256(key: &[u8], message: &[u8], tag: &Digest) -> bool {
+    let expected = hmac_sha256(key, message);
+    let mut diff = 0u8;
+    for (a, b) in expected.0.iter().zip(tag.0.iter()) {
+        diff |= a ^ b;
+    }
+    diff == 0
+}
+
+/// Incremental HMAC-SHA256 computation.
+///
+/// # Examples
+///
+/// ```
+/// use platoon_crypto::hmac::{HmacSha256, hmac_sha256};
+///
+/// let mut mac = HmacSha256::new(b"key");
+/// mac.update(b"part one ");
+/// mac.update(b"part two");
+/// assert_eq!(mac.finalize(), hmac_sha256(b"key", b"part one part two"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates a MAC context keyed with `key`.
+    pub fn new(key: &[u8]) -> Self {
+        let mut norm_key = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            norm_key[..DIGEST_LEN].copy_from_slice(Sha256::digest(key).as_bytes());
+        } else {
+            norm_key[..key.len()].copy_from_slice(key);
+        }
+
+        let mut ipad_key = [0u8; BLOCK_LEN];
+        let mut opad_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_key[i] = norm_key[i] ^ 0x36;
+            opad_key[i] = norm_key[i] ^ 0x5c;
+        }
+
+        let mut inner = Sha256::new();
+        inner.update(&ipad_key);
+        HmacSha256 { inner, opad_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, message: &[u8]) {
+        self.inner.update(message);
+    }
+
+    /// Produces the authentication tag, consuming the context.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.opad_key);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+}
+
+/// HKDF-style key derivation: expands input keying material plus a context
+/// label into `n` output keys of 32 bytes each.
+///
+/// Used to derive independent beacon/manoeuvre/session keys from a single
+/// agreed secret (e.g. the output of the fading-channel key agreement).
+pub fn derive_keys(ikm: &[u8], label: &str, n: usize) -> Vec<[u8; DIGEST_LEN]> {
+    let prk = hmac_sha256(b"platoon-kdf-salt", ikm);
+    let mut out = Vec::with_capacity(n);
+    let mut prev: Vec<u8> = Vec::new();
+    for i in 0..n {
+        let mut mac = HmacSha256::new(prk.as_bytes());
+        mac.update(&prev);
+        mac.update(label.as_bytes());
+        mac.update(&[(i + 1) as u8]);
+        let block = mac.finalize();
+        out.push(block.0);
+        prev = block.0.to_vec();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &Digest) -> String {
+        d.to_hex()
+    }
+
+    // RFC 4231 test vectors for HMAC-SHA256.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaa; 20];
+        let msg = [0xdd; 50];
+        let tag = hmac_sha256(&key, &msg);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = hmac_sha256(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut mac = HmacSha256::new(b"k");
+        mac.update(b"abc");
+        mac.update(b"def");
+        assert_eq!(mac.finalize(), hmac_sha256(b"k", b"abcdef"));
+    }
+
+    #[test]
+    fn verify_accepts_valid_tag() {
+        let tag = hmac_sha256(b"key", b"msg");
+        assert!(verify_hmac_sha256(b"key", b"msg", &tag));
+    }
+
+    #[test]
+    fn verify_rejects_wrong_key_message_or_tag() {
+        let tag = hmac_sha256(b"key", b"msg");
+        assert!(!verify_hmac_sha256(b"other", b"msg", &tag));
+        assert!(!verify_hmac_sha256(b"key", b"msg2", &tag));
+        let mut bad = tag;
+        bad.0[0] ^= 1;
+        assert!(!verify_hmac_sha256(b"key", b"msg", &bad));
+    }
+
+    #[test]
+    fn derive_keys_are_distinct_and_deterministic() {
+        let a = derive_keys(b"secret", "beacon", 4);
+        let b = derive_keys(b"secret", "beacon", 4);
+        assert_eq!(a, b);
+        for i in 0..a.len() {
+            for j in 0..i {
+                assert_ne!(a[i], a[j], "keys {i} and {j} collide");
+            }
+        }
+    }
+
+    #[test]
+    fn derive_keys_depend_on_label_and_ikm() {
+        assert_ne!(
+            derive_keys(b"s", "beacon", 1),
+            derive_keys(b"s", "session", 1)
+        );
+        assert_ne!(
+            derive_keys(b"s1", "beacon", 1),
+            derive_keys(b"s2", "beacon", 1)
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! # platoon-crypto
+//!
+//! Simulation-grade cryptographic substrate for the platoon security suite
+//! (reproduction of Taylor et al., *"Vehicular Platoon Communication:
+//! Cybersecurity Threats and Open Challenges"*, DSN-W 2021).
+//!
+//! The paper's Table III lists "Secret and Public Keys" as the first class of
+//! platoon defenses. This crate provides everything those defenses need,
+//! implemented from scratch so the repository is fully self-contained:
+//!
+//! * [`sha256`] — FIPS 180-4 SHA-256 (tested against NIST vectors).
+//! * [`hmac`] — HMAC-SHA256 (RFC 2104/4231) and a KDF.
+//! * [`group`] / [`signature`] — Schnorr-style signatures over a 61-bit
+//!   prime-field group.
+//! * [`keys`] — symmetric keys and signing key pairs.
+//! * [`cert`] — a trusted-authority PKI with certificates and revocation.
+//! * [`pseudonym`] — pseudonym pools and change policies for location privacy.
+//! * [`key_agreement`] — the fading-channel key agreement of Li et al. \[5\].
+//! * [`replay`] — timestamp- and sequence-window anti-replay filters.
+//!
+//! # Security disclaimer
+//!
+//! **Not for production use.** Group sizes and protocol parameters are
+//! deliberately reduced: the experiments in this repository measure
+//! *protocol-level* attack economics (what an adversary can achieve with or
+//! without valid credentials), never computational bit-strength. The APIs
+//! mirror production counterparts so a real library could be swapped in.
+//!
+//! # Examples
+//!
+//! Signing and verifying a platoon manoeuvre message:
+//!
+//! ```
+//! use platoon_crypto::{keys::KeyPair, signature::Signer};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let leader = KeyPair::generate(&mut rng);
+//! let signer = Signer::new(leader);
+//! let sig = signer.sign(b"SPLIT after member 3", &mut rng);
+//! assert!(sig.verify(&leader.public(), b"SPLIT after member 3"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cert;
+pub mod group;
+pub mod hmac;
+pub mod key_agreement;
+pub mod keys;
+pub mod pseudonym;
+pub mod replay;
+pub mod sha256;
+pub mod signature;
+
+pub use cert::{Certificate, CertificateAuthority, PrincipalId, RevocationList};
+pub use keys::{KeyId, KeyPair, PublicKey, SymmetricKey};
+pub use replay::{ReplayVerdict, SequenceWindow, TimestampWindow};
+pub use sha256::{Digest, Sha256};
+pub use signature::{Signature, Signer};
+
+#[cfg(test)]
+mod proptests {
+    use crate::hmac::{hmac_sha256, verify_hmac_sha256};
+    use crate::keys::KeyPair;
+    use crate::replay::SequenceWindow;
+    use crate::sha256::Sha256;
+    use crate::signature::Signer;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..600), split in 0usize..600) {
+            let split = split.min(data.len());
+            let mut h = Sha256::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+        }
+
+        #[test]
+        fn hmac_verifies_and_rejects_flip(key in proptest::collection::vec(any::<u8>(), 1..80),
+                                          msg in proptest::collection::vec(any::<u8>(), 0..200),
+                                          flip_bit in 0usize..256) {
+            let tag = hmac_sha256(&key, &msg);
+            prop_assert!(verify_hmac_sha256(&key, &msg, &tag));
+            let mut bad = tag;
+            bad.0[flip_bit / 8] ^= 1 << (flip_bit % 8);
+            prop_assert!(!verify_hmac_sha256(&key, &msg, &bad));
+        }
+
+        #[test]
+        fn signature_sound_under_message_tamper(seed in 1u64..10_000,
+                                                msg in proptest::collection::vec(any::<u8>(), 1..100),
+                                                tweak in 0usize..100) {
+            let signer = Signer::new(KeyPair::from_seed(seed));
+            let sig = signer.sign_deterministic(&msg);
+            prop_assert!(sig.verify(&signer.public(), &msg));
+            let mut tampered = msg.clone();
+            let i = tweak % tampered.len();
+            tampered[i] = tampered[i].wrapping_add(1);
+            prop_assert!(!sig.verify(&signer.public(), &tampered));
+        }
+
+        #[test]
+        fn sequence_window_never_accepts_twice(seqs in proptest::collection::vec(0u64..200, 1..100)) {
+            let mut w: SequenceWindow<u8> = SequenceWindow::new(64);
+            let mut accepted = std::collections::HashSet::new();
+            for s in seqs {
+                if w.check(0, s).is_fresh() {
+                    prop_assert!(accepted.insert(s), "sequence {} accepted twice", s);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # platoon-defense
+//!
+//! The security mechanisms of Taylor et al., *"Vehicular Platoon
+//! Communication: Cybersecurity Threats and Open Challenges"* (DSN-W 2021),
+//! Table III — each implemented as a pluggable
+//! [`Defense`](platoon_sim::defense::Defense) for the `platoon-sim` engine:
+//!
+//! | Module | Table III mechanism | Primary targets |
+//! |---|---|---|
+//! | [`anti_replay`] | Secret & Public Keys (freshness half) | replay |
+//! | [`vpd_ada`] | Control Algorithms (detection, \[10\]) | Sybil, spoofing, impersonation |
+//! | [`mitigation`] | Control Algorithms (resilience, \[7\]) | replay, FDI, sensor spoofing |
+//! | [`hybrid`] | Hybrid Communications (SP-VLC \[2\]) | jamming, RF injection |
+//! | [`rsu`] | Roadside Units (\[8\]) | DoS, Sybil |
+//! | [`onboard`] | Securing Onboard Systems | malware |
+//! | [`trust`] | Trust management (REPLACE \[6\]) | impersonation, insider FDI |
+//!
+//! The cryptographic half of the "keys" mechanism lives in the scenario
+//! configuration (`AuthMode::{GroupMac, Pki}`) because it changes how every
+//! honest node seals its messages, not just how receivers filter.
+//!
+//! [`registry`] holds Table III as data, each row bound to its module and
+//! experiments.
+//!
+//! # Examples
+//!
+//! ```
+//! use platoon_defense::prelude::*;
+//! use platoon_attacks::prelude::*;
+//! use platoon_sim::prelude::*;
+//!
+//! let scenario = Scenario::builder().vehicles(5).duration(20.0).build();
+//! let mut engine = Engine::new(scenario);
+//! engine.add_attack(Box::new(ReplayAttack::new(ReplayConfig {
+//!     replay_from: 8.0, ..Default::default()
+//! })));
+//! engine.add_defense(Box::new(AntiReplayDefense::timestamp()));
+//! let summary = engine.run();
+//! assert!(summary.rejected_messages > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anti_replay;
+pub mod hybrid;
+pub mod mitigation;
+pub mod onboard;
+pub mod registry;
+pub mod rsu;
+pub mod trust;
+pub mod vpd_ada;
+
+/// Convenient glob-import of every mechanism and its configuration.
+pub mod prelude {
+    pub use crate::anti_replay::{AntiReplayDefense, ReplayWindowKind};
+    pub use crate::hybrid::{HybridConfig, HybridConfirmDefense, HybridPolicy};
+    pub use crate::mitigation::{MitigationConfig, MitigationDefense};
+    pub use crate::onboard::{OnboardConfig, OnboardDefense};
+    pub use crate::registry::{
+        catalog as mechanism_catalog, descriptor as mechanism_descriptor, MechanismDescriptor,
+    };
+    pub use crate::rsu::{RsuConfig, RsuDefense};
+    pub use crate::trust::{TrustConfig, TrustDefense};
+    pub use crate::vpd_ada::{VpdAdaConfig, VpdAdaDefense};
+}

@@ -1,0 +1,158 @@
+//! # platoon-dynamics
+//!
+//! Longitudinal platoon dynamics: the from-scratch replacement for the
+//! Plexe/Veins simulation substrate that the reproduced paper (Taylor et
+//! al., DSN-W 2021) names as the standard platooning digital twin.
+//!
+//! The crate provides:
+//!
+//! * [`vehicle`] — point-mass vehicles with first-order powertrain lag.
+//! * [`controller`] — the controller abstraction and the cruise controller.
+//! * [`acc`] — radar-only Adaptive Cruise Control (the no-communication
+//!   baseline).
+//! * [`cacc`] — the PATH/Rajamani CACC used by Plexe (leader + predecessor
+//!   feed-forward, constant spacing).
+//! * [`ploeg`] — Ploeg's time-gap CACC (predecessor-only feed-forward).
+//! * [`consensus`] — consensus-based distributed platoon control.
+//! * [`profiles`] — leader speed profiles (step, sinusoid, brake test, …).
+//! * [`sensors`] — radar/GPS/LiDAR models with adversarial fault channels.
+//! * [`stability`] — string-stability and oscillation metrics.
+//! * [`fuel`] — fuel model with platooning drag reduction.
+//! * [`safety`] — collision and time-to-collision monitoring.
+//!
+//! # Examples
+//!
+//! Closed-loop simulation of a two-vehicle string:
+//!
+//! ```
+//! use platoon_dynamics::prelude::*;
+//!
+//! let params = VehicleParams::car();
+//! let mut leader = Vehicle::new(params, 50.0, 20.0);
+//! let mut follower = Vehicle::new(params, 35.0, 20.0);
+//! let mut ctrl = CaccController::default();
+//!
+//! for _step in 0..1000 {
+//!     let peer = |v: &Vehicle| CommPeer {
+//!         position: v.state.position,
+//!         speed: v.state.speed,
+//!         accel: v.state.accel,
+//!         length: v.params.length,
+//!         age: 0.0,
+//!     };
+//!     let ctx = ControlContext {
+//!         dt: 0.01,
+//!         ego: follower.state,
+//!         index: 1,
+//!         radar: Some(RadarReading {
+//!             range: follower.gap_to(&leader),
+//!             range_rate: leader.state.speed - follower.state.speed,
+//!         }),
+//!         predecessor: Some(peer(&leader)),
+//!         leader: Some(peer(&leader)),
+//!         desired_gap: 10.0,
+//!         desired_offset_from_leader: 10.0 + params.length,
+//!     };
+//!     let u = ctrl.command(&ctx);
+//!     follower.set_command(u);
+//!     leader.step(0.01);
+//!     follower.step(0.01);
+//! }
+//! // The follower has converged near the 10 m desired gap.
+//! assert!((follower.gap_to(&leader) - 10.0).abs() < 1.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod acc;
+pub mod cacc;
+pub mod consensus;
+pub mod controller;
+pub mod fuel;
+pub mod ploeg;
+pub mod profiles;
+pub mod safety;
+pub mod sensors;
+pub mod stability;
+pub mod vehicle;
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::acc::AccController;
+    pub use crate::cacc::{CaccController, CaccMode};
+    pub use crate::consensus::ConsensusController;
+    pub use crate::controller::{
+        CommPeer, ControlContext, CruiseController, LongitudinalController, RadarReading,
+    };
+    pub use crate::fuel::{drag_reduction, FuelMeter, PlatoonPosition};
+    pub use crate::ploeg::PloegController;
+    pub use crate::profiles::SpeedProfile;
+    pub use crate::safety::{time_to_collision, SafetyMonitor};
+    pub use crate::sensors::{Gps, Lidar, Radar, SensorFault, SensorSuite};
+    pub use crate::stability::{StringStabilityReport, TimeSeries};
+    pub use crate::vehicle::{Vehicle, VehicleParams, VehicleState};
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::prelude::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The vehicle integrator never produces NaN, negative speed or
+        /// speed above the physical cap, whatever command sequence it gets.
+        #[test]
+        fn integrator_stays_in_envelope(commands in proptest::collection::vec(-20.0f64..20.0, 1..200),
+                                        v0 in 0.0f64..40.0) {
+            let mut v = Vehicle::new(VehicleParams::car(), 0.0, v0.min(40.0));
+            for u in commands {
+                v.set_command(u);
+                v.step(0.05);
+                prop_assert!(v.state.speed >= 0.0);
+                prop_assert!(v.state.speed <= v.params.max_speed + 1e-9);
+                prop_assert!(v.state.position.is_finite());
+                prop_assert!(v.state.accel.is_finite());
+                prop_assert!(v.state.accel <= v.params.max_accel + 1e-9);
+                prop_assert!(v.state.accel >= -v.params.max_decel - 1e-9);
+            }
+        }
+
+        /// ACC never commands based on communication data.
+        #[test]
+        fn acc_ignores_comm(range in 0.0f64..100.0, rate in -10.0f64..10.0,
+                            fake_pos in -1000.0f64..1000.0) {
+            let mut acc = AccController::default();
+            let mut ctx = crate::controller::test_context();
+            ctx.radar = Some(RadarReading { range, range_rate: rate });
+            let honest = acc.command(&ctx);
+            ctx.predecessor = Some(CommPeer { position: fake_pos, speed: 0.0, accel: -9.0, length: 4.5, age: 0.0 });
+            ctx.leader = ctx.predecessor;
+            prop_assert_eq!(acc.command(&ctx), honest);
+        }
+
+        /// Fuel rate is non-negative and platooning never burns more than solo.
+        #[test]
+        fn fuel_rate_sane(speed in 0.0f64..35.0, accel in -5.0f64..2.0, gap in 0.0f64..100.0) {
+            let p = VehicleParams::truck();
+            let solo = crate::fuel::fuel_rate(&p, speed, accel, PlatoonPosition::Solo, 0.0);
+            let plat = crate::fuel::fuel_rate(&p, speed, accel, PlatoonPosition::Follower, gap);
+            prop_assert!(solo >= 0.0 && plat >= 0.0);
+            prop_assert!(plat <= solo + 1e-12, "platooning can only help drag");
+        }
+
+        /// String-stability report ratios are finite for any error data.
+        #[test]
+        fn stability_report_finite(series in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 1..50), 1..6)) {
+            let errors: Vec<TimeSeries> = series.into_iter()
+                .map(|values| TimeSeries { dt: 0.1, values })
+                .collect();
+            let r = StringStabilityReport::from_errors(&errors);
+            for a in r.linf_amplification {
+                prop_assert!(a.is_finite());
+            }
+            prop_assert!(r.total_energy.is_finite());
+        }
+    }
+}

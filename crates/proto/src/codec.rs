@@ -1,0 +1,336 @@
+//! Hand-rolled binary wire codec.
+//!
+//! Platoon messages travel as compact binary frames, the way real CAM/DENM
+//! messages do (ASN.1 UPER in ETSI ITS). A hand-written codec — rather than
+//! a serde format — keeps the wire image deterministic and byte-stable,
+//! which matters because **signatures are computed over these exact bytes**:
+//! any encode/decode asymmetry would break or weaken message authentication.
+
+use std::fmt;
+
+/// Error returned when decoding malformed bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input ended before the field could be read.
+    UnexpectedEnd {
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// A tag byte did not correspond to any known variant.
+    BadTag {
+        /// The offending tag value.
+        tag: u8,
+        /// What was being decoded.
+        context: &'static str,
+    },
+    /// A length prefix exceeded the sanity limit.
+    LengthOverflow {
+        /// The claimed length.
+        claimed: usize,
+    },
+    /// Trailing bytes remained after a complete decode.
+    TrailingBytes {
+        /// Number of unconsumed bytes.
+        count: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEnd { needed, remaining } => {
+                write!(
+                    f,
+                    "unexpected end of input: needed {needed} bytes, {remaining} remaining"
+                )
+            }
+            DecodeError::BadTag { tag, context } => {
+                write!(f, "invalid tag {tag} while decoding {context}")
+            }
+            DecodeError::LengthOverflow { claimed } => {
+                write!(f, "length prefix {claimed} exceeds sanity limit")
+            }
+            DecodeError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after complete message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Maximum length any single variable-length field may claim.
+const MAX_FIELD_LEN: usize = 64 * 1024;
+
+/// Append-only encoder.
+#[derive(Clone, Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes encoding, returning the buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Current encoded length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes a single byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.push(v);
+        self
+    }
+
+    /// Writes a big-endian u16.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Writes a big-endian u32.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Writes a big-endian u64.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Writes an IEEE-754 f64 (big-endian bit image).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        self
+    }
+
+    /// Writes a bool as one byte.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.u8(u8::from(v))
+    }
+
+    /// Writes a u16 length prefix followed by the bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` exceeds the 64 KiB field limit.
+    pub fn bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        assert!(bytes.len() <= MAX_FIELD_LEN, "field too long");
+        self.u16(bytes.len() as u16);
+        self.buf.extend_from_slice(bytes);
+        self
+    }
+}
+
+/// Consuming decoder over a byte slice.
+#[derive(Clone, Debug)]
+pub struct Decoder<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wraps a byte slice for decoding.
+    pub fn new(input: &'a [u8]) -> Self {
+        Decoder { input, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.input.len() - self.pos
+    }
+
+    /// Fails unless the input was fully consumed.
+    pub fn finish(self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(DecodeError::TrailingBytes {
+                count: self.remaining(),
+            })
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEnd {
+                needed: n,
+                remaining: self.remaining(),
+            });
+        }
+        let out = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads a single byte.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a big-endian u16.
+    pub fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_be_bytes(
+            self.take(2)?.try_into().expect("2 bytes"),
+        ))
+    }
+
+    /// Reads a big-endian u32.
+    pub fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_be_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a big-endian u64.
+    pub fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads an f64.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_be_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a bool byte (any non-zero is `true`).
+    pub fn bool(&mut self) -> Result<bool, DecodeError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Reads a u16-length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, DecodeError> {
+        let len = self.u16()? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(DecodeError::LengthOverflow { claimed: len });
+        }
+        Ok(self.take(len)?.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut e = Encoder::new();
+        e.u8(7)
+            .u16(300)
+            .u32(70_000)
+            .u64(1 << 40)
+            .f64(-2.5)
+            .bool(true);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8().unwrap(), 7);
+        assert_eq!(d.u16().unwrap(), 300);
+        assert_eq!(d.u32().unwrap(), 70_000);
+        assert_eq!(d.u64().unwrap(), 1 << 40);
+        assert_eq!(d.f64().unwrap(), -2.5);
+        assert!(d.bool().unwrap());
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut e = Encoder::new();
+        e.bytes(b"hello").bytes(b"");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.bytes().unwrap(), b"hello");
+        assert_eq!(d.bytes().unwrap(), b"");
+        d.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_input_errors() {
+        let mut e = Encoder::new();
+        e.u64(42);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes[..5]);
+        assert!(matches!(
+            d.u64(),
+            Err(DecodeError::UnexpectedEnd {
+                needed: 8,
+                remaining: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Encoder::new();
+        e.u8(1).u8(2);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        d.u8().unwrap();
+        assert_eq!(d.finish(), Err(DecodeError::TrailingBytes { count: 1 }));
+    }
+
+    #[test]
+    fn truncated_byte_string_errors() {
+        let mut e = Encoder::new();
+        e.bytes(b"abcdef");
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes[..4]);
+        assert!(d.bytes().is_err());
+    }
+
+    #[test]
+    fn f64_special_values_roundtrip() {
+        for v in [f64::INFINITY, f64::NEG_INFINITY, 0.0, -0.0, 1e-300] {
+            let mut e = Encoder::new();
+            e.f64(v);
+            let bytes = e.into_bytes();
+            let got = Decoder::new(&bytes).f64().unwrap();
+            assert_eq!(got.to_bits(), v.to_bits());
+        }
+        // NaN roundtrips bit-exactly too.
+        let mut e = Encoder::new();
+        e.f64(f64::NAN);
+        let bytes = e.into_bytes();
+        assert!(Decoder::new(&bytes).f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let encode = || {
+            let mut e = Encoder::new();
+            e.u64(99).f64(1.25).bytes(b"x");
+            e.into_bytes()
+        };
+        assert_eq!(encode(), encode());
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DecodeError::BadTag {
+            tag: 9,
+            context: "message",
+        };
+        assert!(e.to_string().contains("tag 9"));
+        let e = DecodeError::LengthOverflow { claimed: 1 << 20 };
+        assert!(e.to_string().contains("sanity"));
+    }
+}

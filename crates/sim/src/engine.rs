@@ -1,0 +1,1210 @@
+//! The simulation engine: the sense → communicate → control → integrate loop
+//! with attack and defense hook points.
+//!
+//! One **communication step** (default 100 ms, the CAM beacon interval) runs:
+//!
+//! 1. `Attack::before_comm` — adversaries mutate the world (jammers, sensor
+//!    faults, infections).
+//! 2. Honest nodes emit beacons and queued manoeuvre messages, sealed
+//!    according to the scenario's [`AuthMode`]; `Attack::on_air` records and
+//!    injects frames; the [`RadioMedium`](platoon_v2x::medium::RadioMedium)
+//!    decides deliveries.
+//! 3. Deliveries are verified (engine-level authentication per the deployed
+//!    key scheme, then every [`Defense::filter_rx`]), then applied: beacons
+//!    update controller inputs, manoeuvre messages drive the leader's
+//!    [`ManeuverEngine`] and member-side split/gap handling.
+//! 4. Controllers compute commands; `Defense::adjust_commands` may mitigate.
+//! 5. Vehicle dynamics integrate in fine substeps; safety/fuel/stability
+//!    metrics accumulate.
+
+use crate::attack::Attack;
+use crate::defense::{Defense, RejectReason};
+use crate::events::{Event, EventLog};
+use crate::metrics::{MetricsCollector, RunSummary};
+use crate::scenario::{AuthMode, CommsMode, ControllerKind, Scenario};
+use crate::world::{AuthMaterial, CommState, HeardPeer, Rsu, VehicleNode, World};
+use platoon_crypto::cert::{CertificateAuthority, PrincipalId};
+use platoon_crypto::keys::{KeyPair, SymmetricKey};
+use platoon_crypto::signature::Signer;
+use platoon_dynamics::acc::AccController;
+use platoon_dynamics::cacc::CaccController;
+use platoon_dynamics::consensus::ConsensusController;
+use platoon_dynamics::controller::{
+    CommPeer, ControlContext, LongitudinalController, RadarReading,
+};
+use platoon_dynamics::fuel::PlatoonPosition;
+use platoon_dynamics::ploeg::PloegController;
+use platoon_dynamics::sensors::SensorSuite;
+use platoon_dynamics::vehicle::Vehicle;
+use platoon_proto::envelope::Envelope;
+use platoon_proto::maneuver::{JoinOutcome, ManeuverEngine};
+use platoon_proto::membership::Roster;
+use platoon_proto::messages::{Beacon, PlatoonId, PlatoonMessage, Role};
+use platoon_v2x::medium::Receiver;
+use platoon_v2x::message::{ChannelKind, Delivery, Frame, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Salt for deriving the trusted authority's key pair from the scenario seed.
+const CA_SEED_SALT: u64 = 0xCA00_0000_0000_0001;
+
+/// How close (metres) a joiner's claimed position must be to its reserved
+/// slot for the leader to consider the merge physically complete.
+const JOIN_ARRIVAL_TOLERANCE: f64 = 30.0;
+
+/// The simulation engine.
+#[derive(Debug)]
+pub struct Engine {
+    scenario: Scenario,
+    world: World,
+    ca: CertificateAuthority,
+    group_key: SymmetricKey,
+    maneuvers: ManeuverEngine,
+    attacks: Vec<Box<dyn Attack>>,
+    defenses: Vec<Box<dyn Defense>>,
+    metrics: MetricsCollector,
+    events: EventLog,
+    rng: StdRng,
+    /// Manoeuvre responses queued by the leader for the next step.
+    outbox: Vec<(usize, PlatoonMessage)>,
+    /// Latest claimed position per principal (from any accepted beacon).
+    claimed_positions: HashMap<PrincipalId, (f64, f64)>,
+    /// Count of messages rejected by verification or defenses.
+    rejected_messages: usize,
+    /// Count of detections raised by defenses.
+    detections: usize,
+    /// Next platoon id to assign on splits.
+    next_platoon_id: u32,
+    steps_run: u64,
+    /// Previous step's service state, for edge-triggered outage events.
+    service_was_down: Vec<bool>,
+}
+
+impl Engine {
+    /// Builds the world for a scenario: an already-formed platoon cruising
+    /// at the profile's initial speed with all gaps at their set-points.
+    pub fn new(scenario: Scenario) -> Self {
+        let mut ca = CertificateAuthority::new(
+            PrincipalId(1_000_000),
+            KeyPair::from_seed(scenario.seed ^ CA_SEED_SALT),
+        );
+        let group_key = SymmetricKey::derive(&scenario.seed.to_be_bytes(), "platoon-group");
+        let v0 = scenario.profile.initial_speed();
+        let spacing = scenario.params.length + scenario.desired_gap;
+        let n = scenario.vehicles;
+
+        let mut vehicles = Vec::with_capacity(n);
+        for i in 0..n {
+            let principal = PrincipalId(i as u64);
+            let keypair = KeyPair::from_seed(scenario.seed.wrapping_mul(31).wrapping_add(i as u64));
+            let auth = match scenario.auth {
+                AuthMode::None => AuthMaterial::None,
+                AuthMode::GroupMac => AuthMaterial::GroupMac(group_key),
+                AuthMode::EncryptedGroupMac => AuthMaterial::EncryptedGroupMac(group_key),
+                AuthMode::Pki => AuthMaterial::Pki {
+                    signer: Signer::new(keypair),
+                    certificate: ca.issue(
+                        principal,
+                        keypair.public(),
+                        0.0,
+                        scenario.duration + 3600.0,
+                    ),
+                },
+            };
+            // Leader at the front (largest x), followers behind.
+            let position = (n - 1 - i) as f64 * spacing + scenario.params.length;
+            let controller: Box<dyn LongitudinalController> = if i == 0 {
+                Box::new(platoon_dynamics::controller::CruiseController::new(v0))
+            } else {
+                match scenario.controller {
+                    ControllerKind::Acc => Box::new(AccController::default()),
+                    ControllerKind::Cacc => Box::new(CaccController::default()),
+                    ControllerKind::Ploeg => Box::new(PloegController::default()),
+                    ControllerKind::Consensus => Box::new(ConsensusController::default()),
+                }
+            };
+            vehicles.push(VehicleNode {
+                principal,
+                node: NodeId(i as u64),
+                vehicle: Vehicle::new(scenario.params, position, v0),
+                sensors: SensorSuite::default(),
+                controller,
+                role: if i == 0 { Role::Leader } else { Role::Member },
+                platoon: PlatoonId(1),
+                seq: 0,
+                nonce: 0,
+                comm: CommState::default(),
+                auth,
+                fuel: Default::default(),
+                extra_front_gap: 0.0,
+                extra_gap_until: 0.0,
+                beacon_lie: None,
+                infected: false,
+                hardened: false,
+                platooning_enabled: true,
+                lane_offset: 0.0,
+            });
+        }
+
+        let rsus = scenario
+            .rsu_positions
+            .iter()
+            .enumerate()
+            .map(|(i, &position)| Rsu {
+                node: NodeId(10_000 + i as u64),
+                position,
+                compromised: false,
+            })
+            .collect();
+
+        let mut roster = Roster::new(PlatoonId(1), PrincipalId(0), scenario.max_platoon_size);
+        for v in vehicles.iter().skip(1) {
+            roster
+                .admit_tail(v.principal)
+                .expect("initial platoon fits");
+        }
+        let maneuvers = ManeuverEngine::new(roster, scenario.maneuvers);
+        let metrics = MetricsCollector::new(n, scenario.comm_step);
+        let rng = StdRng::seed_from_u64(scenario.seed);
+        let medium = scenario.medium;
+
+        Engine {
+            world: World {
+                time: 0.0,
+                vehicles,
+                rsus,
+                medium,
+                jammers: Vec::new(),
+            },
+            ca,
+            group_key,
+            maneuvers,
+            attacks: Vec::new(),
+            defenses: Vec::new(),
+            metrics,
+            events: EventLog::default(),
+            rng,
+            outbox: Vec::new(),
+            claimed_positions: HashMap::new(),
+            rejected_messages: 0,
+            detections: 0,
+            next_platoon_id: 2,
+            steps_run: 0,
+            service_was_down: vec![false; n],
+            scenario,
+        }
+    }
+
+    /// Number of communication steps executed so far.
+    pub fn steps_run(&self) -> u64 {
+        self.steps_run
+    }
+
+    /// Plugs in an adversary.
+    pub fn add_attack(&mut self, attack: Box<dyn Attack>) {
+        self.attacks.push(attack);
+    }
+
+    /// Plugs in a security mechanism.
+    pub fn add_defense(&mut self, defense: Box<dyn Defense>) {
+        self.defenses.push(defense);
+    }
+
+    /// The trusted authority (for provisioning defenses or attacker
+    /// credentials in experiments).
+    pub fn ca(&self) -> &CertificateAuthority {
+        &self.ca
+    }
+
+    /// Mutable authority access (revocation during a run).
+    pub fn ca_mut(&mut self) -> &mut CertificateAuthority {
+        &mut self.ca
+    }
+
+    /// The platoon group key (when `AuthMode::GroupMac` — but always derived,
+    /// so experiments can hand it to insiders).
+    pub fn group_key(&self) -> SymmetricKey {
+        self.group_key
+    }
+
+    /// The world state.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable world access for test scaffolding and experiment setup.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// The scenario this engine runs.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The leader's manoeuvre engine.
+    pub fn maneuvers(&self) -> &ManeuverEngine {
+        &self.maneuvers
+    }
+
+    /// Plugged-in attacks (for downcasting after a run).
+    pub fn attacks(&self) -> &[Box<dyn Attack>] {
+        &self.attacks
+    }
+
+    /// Plugged-in defenses (for downcasting after a run).
+    pub fn defenses(&self) -> &[Box<dyn Defense>] {
+        &self.defenses
+    }
+
+    /// The event log.
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
+    /// The metric collector.
+    pub fn metrics(&self) -> &MetricsCollector {
+        &self.metrics
+    }
+
+    /// Rotates the platoon group key, excluding the listed principals from
+    /// the new epoch — the §VI-A.2 eviction mechanism: "updating the keys so
+    /// that anomalous users can be screened out faster". Excluded members
+    /// keep the old key; everything they send afterwards fails verification,
+    /// and they can no longer read encrypted traffic.
+    ///
+    /// Only meaningful under the group-key auth modes; a no-op otherwise.
+    pub fn rekey_excluding(&mut self, excluded: &[PrincipalId]) {
+        if !matches!(
+            self.scenario.auth,
+            AuthMode::GroupMac | AuthMode::EncryptedGroupMac
+        ) {
+            return;
+        }
+        self.group_key = SymmetricKey::derive(self.group_key.as_bytes(), "platoon-group-rotation");
+        for v in self.world.vehicles.iter_mut() {
+            if excluded.contains(&v.principal) {
+                continue; // stays on the dead epoch
+            }
+            v.auth = match self.scenario.auth {
+                AuthMode::GroupMac => AuthMaterial::GroupMac(self.group_key),
+                AuthMode::EncryptedGroupMac => AuthMaterial::EncryptedGroupMac(self.group_key),
+                _ => unreachable!("guarded above"),
+            };
+        }
+    }
+
+    /// Queues a *legitimate* split command from the leader: the platoon
+    /// divides at `at_index` (platoon-local) on the next step. Returns the
+    /// id assigned to the new trailing platoon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`platoon_proto::membership::RosterError`] if the index is
+    /// invalid for the current roster.
+    pub fn command_split(
+        &mut self,
+        at_index: usize,
+    ) -> Result<PlatoonId, platoon_proto::membership::RosterError> {
+        let new_platoon = PlatoonId(self.next_platoon_id);
+        self.maneuvers.handle_split(at_index, new_platoon)?;
+        self.next_platoon_id += 1;
+        self.outbox.push((
+            0,
+            PlatoonMessage::SplitCommand {
+                platoon: self.world.vehicles[0].platoon,
+                at_index: at_index as u32,
+                new_platoon,
+                timestamp: self.world.time,
+            },
+        ));
+        Ok(new_platoon)
+    }
+
+    /// Merges the platoon immediately trailing the lead platoon back into
+    /// it: its vehicles revert to followers of the original leader and
+    /// re-enter the roster (the §II-B reform manoeuvre after a split, and
+    /// how "all savings are lost ... until the platoon can reform" ends).
+    ///
+    /// Returns the number of vehicles merged (0 if nothing trails).
+    pub fn command_merge(&mut self) -> usize {
+        let lead_platoon = self.world.vehicles[0].platoon;
+        // Find the first trailing platoon id after the lead block.
+        let Some(trailing) = self
+            .world
+            .vehicles
+            .iter()
+            .map(|v| v.platoon)
+            .find(|p| *p != lead_platoon)
+        else {
+            return 0;
+        };
+        let mut merged = 0;
+        for idx in 0..self.world.vehicles.len() {
+            if self.world.vehicles[idx].platoon != trailing {
+                continue;
+            }
+            let principal = self.world.vehicles[idx].principal;
+            let v = &mut self.world.vehicles[idx];
+            v.platoon = lead_platoon;
+            if v.role == Role::Leader && idx != 0 {
+                v.role = Role::Member;
+                // Restore the scenario's follower controller.
+                v.controller = match self.scenario.controller {
+                    ControllerKind::Acc => Box::new(AccController::default()),
+                    ControllerKind::Cacc => Box::new(CaccController::default()),
+                    ControllerKind::Ploeg => Box::new(PloegController::default()),
+                    ControllerKind::Consensus => Box::new(ConsensusController::default()),
+                };
+                v.comm = CommState::default();
+            }
+            if !self.maneuvers.roster().contains(principal) {
+                let _ = self.maneuvers.roster_mut().admit_tail(principal);
+            }
+            merged += 1;
+        }
+        merged
+    }
+
+    /// Queues a *legitimate* gap-open command from the leader: the member at
+    /// platoon-local `slot` opens `extra_gap` metres for an entering vehicle.
+    pub fn command_gap_open(&mut self, slot: usize, extra_gap: f64) {
+        self.outbox.push((
+            0,
+            PlatoonMessage::GapOpen {
+                platoon: self.world.vehicles[0].platoon,
+                slot: slot as u32,
+                extra_gap,
+                timestamp: self.world.time,
+            },
+        ));
+    }
+
+    /// Runs the scenario to completion and returns the summary.
+    pub fn run(&mut self) -> RunSummary {
+        let steps = (self.scenario.duration / self.scenario.comm_step).round() as u64;
+        for _ in 0..steps {
+            self.step();
+        }
+        self.summary()
+    }
+
+    /// Advances one communication step.
+    pub fn step(&mut self) {
+        let now = self.world.time;
+
+        // Phase 1: adversary world mutation.
+        for attack in self.attacks.iter_mut() {
+            attack.before_comm(&mut self.world, &mut self.rng);
+        }
+
+        // Phase 2: honest transmissions.
+        let mut frames = self.build_outgoing_frames(now);
+        for v in self.world.vehicles.iter() {
+            if v.platooning_enabled {
+                self.metrics.links.record_offer(v.node);
+            }
+        }
+        for attack in self.attacks.iter_mut() {
+            attack.on_air(&mut self.world, &mut self.rng, &mut frames);
+        }
+
+        let mut receivers: Vec<Receiver> = self
+            .world
+            .vehicles
+            .iter()
+            .filter(|v| v.platooning_enabled)
+            .map(|v| Receiver {
+                id: v.node,
+                position: v.position(),
+            })
+            .collect();
+        receivers.extend(self.world.rsus.iter().map(|r| Receiver {
+            id: r.node,
+            position: r.position,
+        }));
+        for attack in self.attacks.iter() {
+            if let Some(rx) = attack.receiver(&self.world) {
+                receivers.push(rx);
+            }
+        }
+
+        let (deliveries, _step_stats) =
+            self.world
+                .medium
+                .step(now, &frames, &receivers, &self.world.jammers, &mut self.rng);
+
+        for attack in self.attacks.iter_mut() {
+            attack.observe(&mut self.world, &mut self.rng, &deliveries);
+        }
+
+        // Phase 3: reception and protocol processing.
+        self.process_deliveries(&deliveries, now);
+
+        // Expire pending joins (ghosts) and mirror held gaps onto vehicles.
+        for requester in self.maneuvers.expire_pending(now) {
+            self.events.push(now, Event::JoinExpired { requester });
+        }
+        self.mirror_pending_gaps(now);
+
+        // Phase 4: control.
+        let mut commands = self.compute_commands(now);
+        for defense in self.defenses.iter_mut() {
+            defense.adjust_commands(&self.world, &mut commands);
+        }
+        for (v, u) in self.world.vehicles.iter_mut().zip(commands.iter()) {
+            v.vehicle.set_command(*u);
+        }
+
+        // Detection pass.
+        for defense in self.defenses.iter_mut() {
+            for det in defense.on_step(&mut self.world, &mut self.rng) {
+                self.detections += 1;
+                self.events.push(
+                    det.time,
+                    Event::Detection {
+                        suspect: det.suspect,
+                    },
+                );
+            }
+        }
+
+        // Phase 5: integrate dynamics and collect metrics.
+        self.integrate_and_measure(now);
+
+        self.world.time = now + self.scenario.comm_step;
+        self.steps_run += 1;
+    }
+
+    /// Seals a message according to the vehicle's credential material.
+    fn seal(v: &mut VehicleNode, msg: &PlatoonMessage) -> Envelope {
+        match &v.auth {
+            AuthMaterial::None => Envelope::plain(v.principal, msg),
+            AuthMaterial::GroupMac(key) => Envelope::mac(v.principal, msg, key),
+            AuthMaterial::EncryptedGroupMac(key) => {
+                v.nonce += 1;
+                Envelope::seal_encrypted(v.principal, msg, key, v.nonce)
+            }
+            AuthMaterial::Pki {
+                signer,
+                certificate,
+            } => Envelope::sign(v.principal, msg, signer, *certificate),
+        }
+    }
+
+    /// Builds a vehicle's outgoing beacon. The claimed position comes from
+    /// the GPS receiver — which is exactly why GPS spoofing (§V-G) poisons
+    /// the information the platoon shares, not just local navigation. A GPS
+    /// outage falls back to dead-reckoned truth (inertial backup).
+    fn beacon_for(v: &mut VehicleNode, now: f64, rng: &mut StdRng) -> Beacon {
+        v.seq += 1;
+        let lie = v.beacon_lie.unwrap_or_default();
+        let gps_position = v
+            .sensors
+            .gps
+            .measure(v.vehicle.state.position, v.vehicle.state.speed, now, rng)
+            .map(|(p, _)| p)
+            .unwrap_or(v.vehicle.state.position);
+        Beacon {
+            sender: v.principal,
+            platoon: v.platoon,
+            role: v.role,
+            seq: v.seq,
+            timestamp: now,
+            position: gps_position + lie.position_offset,
+            speed: (v.vehicle.state.speed + lie.speed_offset).max(0.0),
+            accel: v.vehicle.state.accel + lie.accel_offset,
+            length: v.vehicle.params.length,
+        }
+    }
+
+    fn build_outgoing_frames(&mut self, now: f64) -> Vec<Frame> {
+        let comms = self.scenario.comms;
+        let power = self.world.medium.dsrc.default_tx_power_dbm;
+        let mut frames = Vec::new();
+
+        // Beacons from every operational vehicle.
+        for v in self.world.vehicles.iter_mut() {
+            if !v.platooning_enabled {
+                continue;
+            }
+            let beacon = Self::beacon_for(v, now, &mut self.rng);
+            let env = Self::seal(v, &PlatoonMessage::Beacon(beacon));
+            let payload = env.encode();
+            frames.push(Frame {
+                sender: v.node,
+                origin: v.position(),
+                power_dbm: power,
+                channel: ChannelKind::Dsrc,
+                payload: payload.clone(),
+            });
+            match comms {
+                CommsMode::DsrcOnly => {}
+                CommsMode::HybridVlc => frames.push(Frame {
+                    sender: v.node,
+                    origin: v.position(),
+                    power_dbm: power,
+                    channel: ChannelKind::Vlc,
+                    payload: payload.clone(),
+                }),
+                CommsMode::HybridCv2x => frames.push(Frame {
+                    sender: v.node,
+                    origin: v.position(),
+                    power_dbm: power,
+                    channel: ChannelKind::CV2x,
+                    payload: payload.clone(),
+                }),
+            }
+        }
+
+        // SP-VLC hop-by-hop relaying: each member forwards the freshest
+        // leader beacon it holds down the optical chain, so leader data
+        // survives RF jamming one hop at a time (Ucar et al. [2]).
+        if comms == CommsMode::HybridVlc {
+            let relays: Vec<(usize, Vec<u8>)> = self
+                .world
+                .vehicles
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.platooning_enabled)
+                .filter_map(|(i, v)| {
+                    let heard = v.comm.leader.as_ref()?;
+                    if now - heard.heard_at > 0.3 {
+                        return None;
+                    }
+                    Some((i, v.comm.leader_envelope.clone()?))
+                })
+                .collect();
+            for (idx, payload) in relays {
+                let v = &self.world.vehicles[idx];
+                frames.push(Frame {
+                    sender: v.node,
+                    origin: v.position(),
+                    power_dbm: power,
+                    channel: ChannelKind::Vlc,
+                    payload,
+                });
+            }
+        }
+
+        // Queued manoeuvre responses / commands.
+        let outbox = std::mem::take(&mut self.outbox);
+        for (idx, msg) in outbox {
+            if idx >= self.world.vehicles.len() {
+                continue;
+            }
+            if !self.world.vehicles[idx].platooning_enabled {
+                continue;
+            }
+            let env = Self::seal(&mut self.world.vehicles[idx], &msg);
+            let v = &self.world.vehicles[idx];
+            let payload = env.encode();
+            frames.push(Frame {
+                sender: v.node,
+                origin: v.position(),
+                power_dbm: power,
+                channel: ChannelKind::Dsrc,
+                payload: payload.clone(),
+            });
+            if comms == CommsMode::HybridVlc {
+                frames.push(Frame {
+                    sender: v.node,
+                    origin: v.position(),
+                    power_dbm: power,
+                    channel: ChannelKind::Vlc,
+                    payload,
+                });
+            } else if comms == CommsMode::HybridCv2x {
+                frames.push(Frame {
+                    sender: v.node,
+                    origin: v.position(),
+                    power_dbm: power,
+                    channel: ChannelKind::CV2x,
+                    payload,
+                });
+            }
+        }
+        frames
+    }
+
+    /// Engine-level authentication per the deployed key scheme.
+    fn authenticate(&self, env: &Envelope, now: f64) -> Result<PlatoonMessage, RejectReason> {
+        match self.scenario.auth {
+            AuthMode::None => env.open_unverified().map_err(|_| RejectReason::AuthFailed),
+            AuthMode::GroupMac => env
+                .verify_mac(&self.group_key)
+                .map_err(|_| RejectReason::AuthFailed),
+            AuthMode::EncryptedGroupMac => env
+                .open_encrypted(&self.group_key)
+                .map_err(|_| RejectReason::AuthFailed),
+            AuthMode::Pki => {
+                if let platoon_proto::envelope::AuthScheme::Signed { certificate, .. } = &env.auth {
+                    if self.ca.is_revoked(certificate.serial()) {
+                        return Err(RejectReason::Distrusted);
+                    }
+                }
+                env.verify_signed(&self.ca.public(), self.ca.id(), now)
+                    .map_err(|_| RejectReason::AuthFailed)
+            }
+        }
+    }
+
+    fn process_deliveries(&mut self, deliveries: &[Delivery], now: f64) {
+        // PDR accounting: count at most one delivery per (sender, receiver)
+        // pair per step so hybrid duplicates do not inflate the ratio.
+        let mut seen_pairs = std::collections::HashSet::new();
+        // Protocol dedup: in hybrid modes the same payload arrives on two
+        // channels; apply it once per receiver per step so counters (e.g.
+        // join-request statistics) are not inflated. Defenses still see
+        // every copy via filter_rx (the hybrid cross-validator needs both).
+        let mut seen_payloads = std::collections::HashSet::new();
+        for delivery in deliveries {
+            let Some(rx_idx) = self.world.index_of_node(delivery.receiver) else {
+                continue; // RSU or attacker receiver; vehicles only here.
+            };
+            if self.world.index_of_node(delivery.sender).is_some()
+                && seen_pairs.insert((delivery.sender, delivery.receiver))
+            {
+                self.metrics.links.record_delivery(
+                    delivery.sender,
+                    delivery.receiver,
+                    delivery.latency,
+                );
+            }
+            let Ok(env) = Envelope::decode(&delivery.payload) else {
+                continue;
+            };
+            // Engine-level authentication.
+            let msg = match self.authenticate(&env, now) {
+                Ok(msg) => msg,
+                Err(reason) => {
+                    self.rejected_messages += 1;
+                    self.events.push(
+                        now,
+                        Event::MessageRejected {
+                            receiver: rx_idx,
+                            sender: env.sender,
+                            reason,
+                        },
+                    );
+                    continue;
+                }
+            };
+            // Defense filters.
+            let mut rejected = None;
+            for defense in self.defenses.iter_mut() {
+                if let Err(reason) = defense.filter_rx(rx_idx, &self.world, delivery, &env, now) {
+                    rejected = Some(reason);
+                    break;
+                }
+            }
+            if let Some(reason) = rejected {
+                self.rejected_messages += 1;
+                self.events.push(
+                    now,
+                    Event::MessageRejected {
+                        receiver: rx_idx,
+                        sender: env.sender,
+                        reason,
+                    },
+                );
+                continue;
+            }
+            let payload_key = (
+                rx_idx,
+                platoon_crypto::sha256::Sha256::digest(&delivery.payload).to_u64(),
+            );
+            if !seen_payloads.insert(payload_key) {
+                continue; // duplicate channel copy already applied
+            }
+            self.apply_message(rx_idx, env.sender, &env, msg, now);
+        }
+    }
+
+    fn apply_message(
+        &mut self,
+        rx_idx: usize,
+        claimed_sender: PrincipalId,
+        env: &Envelope,
+        msg: PlatoonMessage,
+        now: f64,
+    ) {
+        match msg {
+            PlatoonMessage::Beacon(b) => {
+                self.claimed_positions
+                    .insert(claimed_sender, (b.position, now));
+                let local_idx = self.world.platoon_local_index(rx_idx);
+                let leader_idx = self.world.platoon_leader_index(rx_idx);
+                let peer = CommPeer {
+                    position: b.position,
+                    speed: b.speed,
+                    accel: b.accel,
+                    length: b.length,
+                    age: 0.0,
+                };
+                let heard = HeardPeer {
+                    principal: claimed_sender,
+                    peer,
+                    heard_at: now,
+                };
+                if local_idx > 0 {
+                    let pred_principal = self.world.vehicles[rx_idx - 1].principal;
+                    if claimed_sender == pred_principal {
+                        self.world.vehicles[rx_idx].comm.predecessor = Some(heard);
+                    }
+                    let leader_principal = self.world.vehicles[leader_idx].principal;
+                    if claimed_sender == leader_principal {
+                        self.world.vehicles[rx_idx].comm.leader = Some(heard);
+                        // The stored wire image only feeds VLC relaying.
+                        if self.scenario.comms == CommsMode::HybridVlc {
+                            self.world.vehicles[rx_idx].comm.leader_envelope =
+                                Some(env.encode());
+                        }
+                    }
+                }
+                // Leader: a beacon from a pending joiner claiming to be at
+                // its reserved slot completes the join.
+                if rx_idx == 0 {
+                    self.try_complete_joins(now);
+                }
+            }
+            PlatoonMessage::JoinRequest {
+                requester,
+                platoon,
+                position,
+                ..
+            } => {
+                // Only the lead platoon's leader owns the manoeuvre engine;
+                // a split-off leader (also Role::Leader) must not admit
+                // vehicles into a roster it does not hold.
+                if rx_idx != 0 || self.world.vehicles[rx_idx].platoon != platoon {
+                    return;
+                }
+                let mut credentials_ok = true;
+                for defense in self.defenses.iter_mut() {
+                    if !defense.authorize_join(requester, env, &self.world, now) {
+                        credentials_ok = false;
+                        break;
+                    }
+                }
+                let slot_hint = self.slot_for_position(position);
+                let outcome = self.maneuvers.handle_join_request_with_slot(
+                    requester,
+                    now,
+                    credentials_ok,
+                    slot_hint,
+                );
+                match outcome {
+                    JoinOutcome::Accept { slot } => {
+                        self.events
+                            .push(now, Event::JoinAccepted { requester, slot });
+                        self.outbox.push((
+                            rx_idx,
+                            PlatoonMessage::JoinAccept {
+                                requester,
+                                platoon: self.world.vehicles[rx_idx].platoon,
+                                slot: slot as u32,
+                                timestamp: now,
+                            },
+                        ));
+                        self.outbox.push((
+                            rx_idx,
+                            PlatoonMessage::GapOpen {
+                                platoon: self.world.vehicles[rx_idx].platoon,
+                                slot: slot as u32,
+                                extra_gap: self.scenario.maneuvers.join_gap_extra,
+                                timestamp: now,
+                            },
+                        ));
+                    }
+                    JoinOutcome::Deny(reason) => {
+                        self.events.push(now, Event::JoinRefused { requester });
+                        self.outbox.push((
+                            rx_idx,
+                            PlatoonMessage::JoinDeny {
+                                requester,
+                                platoon: self.world.vehicles[rx_idx].platoon,
+                                reason,
+                                timestamp: now,
+                            },
+                        ));
+                    }
+                    JoinOutcome::Dropped => {
+                        self.events.push(now, Event::JoinRefused { requester });
+                    }
+                }
+            }
+            PlatoonMessage::LeaveRequest { member, platoon, .. } => {
+                if rx_idx != 0 || self.world.vehicles[rx_idx].platoon != platoon {
+                    return;
+                }
+                if self.maneuvers.handle_leave(member).is_ok() {
+                    self.outbox.push((
+                        rx_idx,
+                        PlatoonMessage::LeaveAck {
+                            member,
+                            platoon: self.world.vehicles[rx_idx].platoon,
+                            timestamp: now,
+                        },
+                    ));
+                }
+            }
+            PlatoonMessage::SplitCommand {
+                platoon,
+                at_index,
+                new_platoon,
+                ..
+            } => {
+                // Members obey a split claimed to come from their platoon
+                // leader. (Authentication — or its absence — already
+                // happened; this check is the protocol-level authorisation.)
+                let leader_idx = self.world.platoon_leader_index(rx_idx);
+                let leader_principal = self.world.vehicles[leader_idx].principal;
+                if claimed_sender != leader_principal
+                    || self.world.vehicles[rx_idx].platoon != platoon
+                {
+                    return;
+                }
+                let local_idx = self.world.platoon_local_index(rx_idx);
+                if local_idx >= at_index as usize && local_idx > 0 {
+                    self.execute_split_membership(rx_idx, new_platoon, now);
+                }
+            }
+            PlatoonMessage::GapOpen {
+                platoon,
+                slot,
+                extra_gap,
+                ..
+            } => {
+                let leader_idx = self.world.platoon_leader_index(rx_idx);
+                let leader_principal = self.world.vehicles[leader_idx].principal;
+                if claimed_sender != leader_principal
+                    || self.world.vehicles[rx_idx].platoon != platoon
+                {
+                    return;
+                }
+                let local_idx = self.world.platoon_local_index(rx_idx);
+                if local_idx == slot as usize {
+                    let v = &mut self.world.vehicles[rx_idx];
+                    v.extra_front_gap = extra_gap;
+                    v.extra_gap_until = now + self.scenario.maneuvers.join_timeout;
+                }
+            }
+            PlatoonMessage::JoinAccept { .. }
+            | PlatoonMessage::JoinDeny { .. }
+            | PlatoonMessage::LeaveAck { .. } => {
+                // Consumed by joiner agents (observers), not platoon members.
+            }
+        }
+    }
+
+    /// Converts a claimed road position into a roster slot hint.
+    fn slot_for_position(&self, position: f64) -> Option<usize> {
+        let n = self.world.vehicles.len();
+        for idx in 0..n {
+            if self.world.vehicles[idx].vehicle.state.position < position {
+                return Some(idx.max(1));
+            }
+        }
+        None // behind everyone: tail join
+    }
+
+    /// Completes pending joins whose principals have beaconed an arrival
+    /// position near their reserved slot.
+    fn try_complete_joins(&mut self, now: f64) {
+        let pending: Vec<(PrincipalId, usize)> = self
+            .maneuvers
+            .pending()
+            .map(|p| (p.requester, p.slot))
+            .collect();
+        for (requester, slot) in pending {
+            let Some(&(claimed_pos, heard_at)) = self.claimed_positions.get(&requester) else {
+                continue;
+            };
+            if now - heard_at > 1.0 {
+                continue;
+            }
+            let slot_pos = self.expected_slot_position(slot);
+            if (claimed_pos - slot_pos).abs() <= JOIN_ARRIVAL_TOLERANCE {
+                let _ = self.maneuvers.complete_join(requester);
+            }
+        }
+    }
+
+    /// Road position a vehicle occupying `slot` would have.
+    fn expected_slot_position(&self, slot: usize) -> f64 {
+        let spacing = self.scenario.params.length + self.scenario.desired_gap;
+        let leader_pos = self.world.vehicles[0].vehicle.state.position;
+        leader_pos - slot as f64 * spacing
+    }
+
+    /// Marks `rx_idx` and all same-platoon vehicles behind it as members of
+    /// `new_platoon`, promoting the frontmost to leader of the new platoon.
+    fn execute_split_membership(&mut self, rx_idx: usize, new_platoon: PlatoonId, now: f64) {
+        let old = self.world.vehicles[rx_idx].platoon;
+        let local_idx = self.world.platoon_local_index(rx_idx);
+        let mut first_new: Option<usize> = None;
+        for idx in rx_idx..self.world.vehicles.len() {
+            if self.world.vehicles[idx].platoon == old {
+                self.world.vehicles[idx].platoon = new_platoon;
+                if first_new.is_none() {
+                    first_new = Some(idx);
+                }
+            }
+        }
+        if let Some(front) = first_new {
+            // The new platoon's front vehicle leads with radar-based ACC so
+            // it keeps a safe distance from the platoon ahead (a split-off
+            // leader must not blindly cruise into the front platoon's tail).
+            self.world.vehicles[front].role = Role::Leader;
+            self.world.vehicles[front].controller = Box::new(AccController::default());
+            self.world.vehicles[front].comm = CommState::default();
+        }
+        self.next_platoon_id = self.next_platoon_id.max(new_platoon.0 + 1);
+        self.events.push(
+            now,
+            Event::Split {
+                at_index: local_idx,
+                new_platoon,
+            },
+        );
+    }
+
+    fn compute_commands(&mut self, now: f64) -> Vec<f64> {
+        let dt = self.scenario.comm_step;
+        let profile = self.scenario.profile;
+        let desired_gap = self.scenario.desired_gap;
+        let n = self.world.vehicles.len();
+        let mut commands = vec![0.0; n];
+
+        // Indexed loop on purpose: the body needs simultaneous &mut access
+        // to `commands[idx]` and `self` (for contexts and controllers).
+        #[allow(clippy::needless_range_loop)]
+        for idx in 0..n {
+            let local_idx = self.world.platoon_local_index(idx);
+            if !self.world.vehicles[idx].platooning_enabled && local_idx > 0 {
+                // Platooning service down: fall back to radar-only ACC-like
+                // behaviour to avoid modelling a driverless brick.
+                let ctx = self.control_context(idx, local_idx, desired_gap, dt, now);
+                let mut fallback = AccController::default();
+                commands[idx] = fallback.command(&ctx);
+                continue;
+            }
+            if local_idx == 0 {
+                // Leads its platoon: the original leader tracks the speed
+                // profile directly; split-off leaders run the cruise
+                // controller frozen at their split-time speed.
+                if idx == 0 {
+                    let target = profile.target_speed(now);
+                    let speed = self.world.vehicles[idx].vehicle.state.speed;
+                    commands[idx] = 0.8 * (target - speed);
+                } else {
+                    let ctx = self.control_context(idx, local_idx, desired_gap, dt, now);
+                    commands[idx] = self.world.vehicles[idx].controller.command(&ctx);
+                }
+            } else {
+                let ctx = self.control_context(idx, local_idx, desired_gap, dt, now);
+                commands[idx] = self.world.vehicles[idx].controller.command(&ctx);
+            }
+        }
+        commands
+    }
+
+    fn control_context(
+        &mut self,
+        idx: usize,
+        local_idx: usize,
+        desired_gap: f64,
+        dt: f64,
+        now: f64,
+    ) -> ControlContext {
+        let extra = if now < self.world.vehicles[idx].extra_gap_until {
+            self.world.vehicles[idx].extra_front_gap
+        } else {
+            0.0
+        };
+        let radar = if idx > 0 {
+            let true_gap = self.world.true_gap(idx).expect("idx > 0");
+            let true_rate = self.world.true_range_rate(idx).expect("idx > 0");
+            let primary = self.world.vehicles[idx]
+                .sensors
+                .radar
+                .measure(true_gap, true_rate, now, &mut self.rng)
+                .map(|(range, range_rate)| RadarReading { range, range_rate });
+            // LiDAR failover: if the radar is blind (jammed or disabled by a
+            // sensor guard), range on the LiDAR with the true closing rate.
+            primary.or_else(|| {
+                self.world.vehicles[idx]
+                    .sensors
+                    .lidar
+                    .measure(true_gap, now, &mut self.rng)
+                    .map(|range| RadarReading {
+                        range,
+                        range_rate: true_rate,
+                    })
+            })
+        } else {
+            None
+        };
+        let v = &self.world.vehicles[idx];
+        ControlContext {
+            dt,
+            ego: v.vehicle.state,
+            index: local_idx,
+            radar,
+            predecessor: v.comm.comm_peer_predecessor(now),
+            leader: v.comm.comm_peer_leader(now),
+            desired_gap: desired_gap + extra,
+            desired_offset_from_leader: local_idx as f64
+                * (self.scenario.params.length + desired_gap),
+        }
+    }
+
+    fn mirror_pending_gaps(&mut self, now: f64) {
+        // Clear expired extra gaps.
+        for v in self.world.vehicles.iter_mut() {
+            if now >= v.extra_gap_until {
+                v.extra_front_gap = 0.0;
+            }
+        }
+    }
+
+    fn integrate_and_measure(&mut self, now: f64) {
+        let substeps = (self.scenario.comm_step / self.scenario.dyn_step).round() as usize;
+        let dt = self.scenario.dyn_step;
+        let n = self.world.vehicles.len();
+
+        for _ in 0..substeps.max(1) {
+            for v in self.world.vehicles.iter_mut() {
+                v.vehicle.step(dt);
+            }
+            // Safety observation per substep (collisions are fast).
+            for idx in 1..n {
+                let gap = self.world.true_gap(idx).expect("idx > 0");
+                let rate = self.world.true_range_rate(idx).expect("idx > 0");
+                let before = self.metrics.safety.collision_count();
+                self.metrics
+                    .safety
+                    .observe(self.world.time, idx - 1, gap, rate);
+                if self.metrics.safety.collision_count() > before {
+                    self.events
+                        .push(self.world.time, Event::Collision { rear_index: idx });
+                }
+            }
+            // Fuel per substep.
+            for idx in 0..n {
+                let local_idx = self.world.platoon_local_index(idx);
+                let gap = if idx > 0 {
+                    self.world.true_gap(idx).expect("idx > 0").max(0.0)
+                } else {
+                    f64::INFINITY
+                };
+                let position = if local_idx == 0 {
+                    if n > 1 && idx == 0 {
+                        PlatoonPosition::Leader
+                    } else {
+                        PlatoonPosition::Solo
+                    }
+                } else {
+                    PlatoonPosition::Follower
+                };
+                let v = &mut self.world.vehicles[idx];
+                let (speed, accel) = (v.vehicle.state.speed, v.vehicle.state.accel);
+                v.fuel
+                    .record(&v.vehicle.params, speed, accel, position, gap.min(1e6), dt);
+            }
+        }
+
+        // Per-comm-step series.
+        #[allow(clippy::needless_range_loop)]
+        for idx in 1..n {
+            let gap = self.world.true_gap(idx).expect("idx > 0");
+            self.metrics.spacing_errors[idx - 1].push(gap - self.scenario.desired_gap);
+        }
+        for (idx, v) in self.world.vehicles.iter().enumerate() {
+            self.metrics.speeds[idx].push(v.vehicle.state.speed);
+        }
+        let tail = self.world.vehicles.last().expect("platoon non-empty");
+        let age = tail
+            .comm
+            .leader
+            .map(|h| (self.world.time - h.heard_at).clamp(0.0, 10.0))
+            .unwrap_or(10.0);
+        self.metrics.tail_leader_age.push(age);
+        let fragmented = self.world.platoon_count() > 1;
+        let any_down = self.world.vehicles.iter().any(|v| !v.platooning_enabled);
+        // Log service transitions (once per outage).
+        for idx in 0..n {
+            let down = !self.world.vehicles[idx].platooning_enabled;
+            if down && !self.service_was_down[idx] {
+                self.events.push(now, Event::ServiceDown { vehicle: idx });
+            }
+            self.service_was_down[idx] = down;
+        }
+        self.metrics
+            .record_step_state(self.scenario.comm_step, fragmented, any_down);
+    }
+
+    /// Builds the run summary from the collected metrics.
+    pub fn summary(&self) -> RunSummary {
+        let stability = self.metrics.stability();
+        let n = self.world.vehicles.len();
+        let fuel: f64 = self
+            .world
+            .vehicles
+            .iter()
+            .map(|v| v.fuel.litres_per_100km())
+            .filter(|f| f.is_finite())
+            .sum::<f64>()
+            / n as f64;
+        let leader_node = self.world.vehicles[0].node;
+        let tail_node = self.world.vehicles[n - 1].node;
+        let leader_tail_pdr = self
+            .metrics
+            .links
+            .pdr(leader_node, tail_node)
+            .unwrap_or(0.0);
+        let mean_abs: f64 = if self.metrics.spacing_errors.is_empty() {
+            0.0
+        } else {
+            let (sum, count) = self
+                .metrics
+                .spacing_errors
+                .iter()
+                .flat_map(|s| s.values.iter())
+                .fold((0.0, 0usize), |(s, c), v| (s + v.abs(), c + 1));
+            if count == 0 {
+                0.0
+            } else {
+                sum / count as f64
+            }
+        };
+
+        RunSummary {
+            label: self.scenario.label.clone(),
+            duration: self.world.time,
+            vehicles: n,
+            max_spacing_error: stability
+                .linf_errors
+                .iter()
+                .copied()
+                .fold(0.0_f64, f64::max),
+            oscillation_energy: stability.total_energy,
+            worst_amplification: stability.worst_amplification(),
+            string_stable: stability.is_string_stable(0.05),
+            collisions: self.metrics.safety.collision_count(),
+            min_gap: self.metrics.safety.global_min_gap(),
+            min_ttc: self.metrics.safety.min_ttc,
+            fuel_l_per_100km: fuel,
+            leader_tail_pdr,
+            tail_leader_age_mean: self.metrics.tail_leader_age.mean(),
+            fragmented_fraction: self.metrics.fragmented_fraction(),
+            service_down_fraction: self.metrics.service_down_fraction(),
+            maneuvers: self.maneuvers.stats(),
+            rejected_messages: self.rejected_messages,
+            detections: self.detections,
+            mean_abs_spacing_error: mean_abs,
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Run metrics: everything an experiment reports about a simulation.
+
+use platoon_dynamics::safety::SafetyMonitor;
+use platoon_dynamics::stability::{StringStabilityReport, TimeSeries};
+use platoon_proto::maneuver::ManeuverStats;
+use platoon_v2x::stats::LinkStats;
+use serde::{Deserialize, Serialize};
+
+/// Collected continuously during a run.
+#[derive(Clone, Debug)]
+pub struct MetricsCollector {
+    /// Per-follower spacing-error series (index 0 = first follower).
+    pub spacing_errors: Vec<TimeSeries>,
+    /// Per-vehicle speed series.
+    pub speeds: Vec<TimeSeries>,
+    /// Safety monitoring.
+    pub safety: SafetyMonitor,
+    /// Link-level delivery statistics.
+    pub links: LinkStats,
+    /// Fraction-of-time accumulator: platoon fragmented (more than one
+    /// platoon id present).
+    fragmented_time: f64,
+    /// Total time accumulated.
+    total_time: f64,
+    /// Time with any vehicle's platooning service down.
+    service_down_time: f64,
+    /// Per-step age of the tail vehicle's leader information (capped).
+    pub tail_leader_age: TimeSeries,
+}
+
+impl MetricsCollector {
+    /// Collector for a platoon of `n` vehicles sampling at `dt`.
+    pub fn new(n: usize, dt: f64) -> Self {
+        MetricsCollector {
+            spacing_errors: (0..n.saturating_sub(1))
+                .map(|_| TimeSeries::new(dt))
+                .collect(),
+            speeds: (0..n).map(|_| TimeSeries::new(dt)).collect(),
+            safety: SafetyMonitor::new(n.saturating_sub(1)),
+            links: LinkStats::new(),
+            fragmented_time: 0.0,
+            total_time: 0.0,
+            service_down_time: 0.0,
+            tail_leader_age: TimeSeries::new(dt),
+        }
+    }
+
+    /// Records a fragmentation/service observation for a step of length `dt`.
+    pub fn record_step_state(&mut self, dt: f64, fragmented: bool, any_service_down: bool) {
+        self.total_time += dt;
+        if fragmented {
+            self.fragmented_time += dt;
+        }
+        if any_service_down {
+            self.service_down_time += dt;
+        }
+    }
+
+    /// Fraction of the run the platoon spent fragmented.
+    pub fn fragmented_fraction(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            return 0.0;
+        }
+        self.fragmented_time / self.total_time
+    }
+
+    /// Fraction of the run with at least one platooning service down.
+    pub fn service_down_fraction(&self) -> f64 {
+        if self.total_time <= 0.0 {
+            return 0.0;
+        }
+        self.service_down_time / self.total_time
+    }
+
+    /// Builds the string-stability report from the recorded errors.
+    pub fn stability(&self) -> StringStabilityReport {
+        StringStabilityReport::from_errors(&self.spacing_errors)
+    }
+}
+
+/// Summary of a completed run — the unit the experiment harness tabulates.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Scenario label.
+    pub label: String,
+    /// Simulated duration in seconds.
+    pub duration: f64,
+    /// Number of vehicles.
+    pub vehicles: usize,
+    /// Maximum absolute spacing error over all followers, metres.
+    pub max_spacing_error: f64,
+    /// Total oscillation energy (m²·s).
+    pub oscillation_energy: f64,
+    /// Worst follower-to-follower L∞ amplification ratio.
+    pub worst_amplification: f64,
+    /// Whether the platoon stayed L∞ string stable (5% tolerance).
+    pub string_stable: bool,
+    /// Collisions observed.
+    pub collisions: usize,
+    /// Minimum bumper gap observed, metres.
+    pub min_gap: f64,
+    /// Minimum time-to-collision observed, seconds (∞ if never closing).
+    pub min_ttc: f64,
+    /// Mean fleet fuel consumption, litres per 100 km.
+    pub fuel_l_per_100km: f64,
+    /// Beacon packet-delivery ratio from the leader to the last vehicle.
+    pub leader_tail_pdr: f64,
+    /// Mean age of the tail vehicle's leader information, seconds (capped
+    /// at 10 s when no beacon has been heard) — the cooperative-data
+    /// freshness metric the hybrid-relay experiments report.
+    pub tail_leader_age_mean: f64,
+    /// Fraction of the run spent fragmented into >1 platoon.
+    pub fragmented_fraction: f64,
+    /// Fraction of the run with a platooning service down.
+    pub service_down_fraction: f64,
+    /// Manoeuvre statistics snapshot.
+    pub maneuvers: ManeuverStats,
+    /// Messages rejected by defenses.
+    pub rejected_messages: usize,
+    /// Misbehaviour detections raised.
+    pub detections: usize,
+    /// Mean absolute spacing error, metres.
+    pub mean_abs_spacing_error: f64,
+}
+
+impl RunSummary {
+    /// Renders a compact single-line summary for console tables.
+    pub fn one_line(&self) -> String {
+        format!(
+            "{:<28} err(max/mean) {:>6.2}/{:>5.2} m  amp {:>5.2}  col {:>2}  gap {:>6.2} m  pdr {:>5.3}  frag {:>4.2}",
+            self.label,
+            self.max_spacing_error,
+            self.mean_abs_spacing_error,
+            self.worst_amplification,
+            self.collisions,
+            if self.min_gap.is_finite() { self.min_gap } else { f64::NAN },
+            self.leader_tail_pdr,
+            self.fragmented_fraction,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collector_sizes_follow_platoon() {
+        let c = MetricsCollector::new(5, 0.1);
+        assert_eq!(c.spacing_errors.len(), 4);
+        assert_eq!(c.speeds.len(), 5);
+    }
+
+    #[test]
+    fn fragmentation_fraction_accumulates() {
+        let mut c = MetricsCollector::new(3, 0.1);
+        for i in 0..10 {
+            c.record_step_state(0.1, i >= 5, false);
+        }
+        assert!((c.fragmented_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(c.service_down_fraction(), 0.0);
+    }
+
+    #[test]
+    fn empty_collector_fractions_are_zero() {
+        let c = MetricsCollector::new(2, 0.1);
+        assert_eq!(c.fragmented_fraction(), 0.0);
+        assert_eq!(c.service_down_fraction(), 0.0);
+    }
+
+    #[test]
+    fn single_vehicle_collector_degenerate() {
+        let c = MetricsCollector::new(1, 0.1);
+        assert!(c.spacing_errors.is_empty());
+        let r = c.stability();
+        assert!(r.is_string_stable(0.0));
+    }
+}

@@ -1,0 +1,234 @@
+//! The simulated world: vehicles, roadside units, the radio medium and the
+//! adversary-visible state attacks mutate.
+
+use platoon_crypto::cert::{Certificate, PrincipalId};
+use platoon_crypto::keys::SymmetricKey;
+use platoon_crypto::signature::Signer;
+use platoon_dynamics::controller::{CommPeer, LongitudinalController};
+use platoon_dynamics::fuel::FuelMeter;
+use platoon_dynamics::sensors::SensorSuite;
+use platoon_dynamics::vehicle::Vehicle;
+use platoon_proto::messages::{PlatoonId, Role};
+use platoon_v2x::jamming::Jammer;
+use platoon_v2x::medium::RadioMedium;
+use platoon_v2x::message::{NodeId, Position};
+
+/// Credential material a vehicle uses to seal outgoing messages.
+#[derive(Clone, Debug)]
+pub enum AuthMaterial {
+    /// No authentication (the undefended baseline).
+    None,
+    /// Shared platoon group key (HMAC envelopes).
+    GroupMac(SymmetricKey),
+    /// Shared group key with payload encryption (encrypt-then-MAC).
+    EncryptedGroupMac(SymmetricKey),
+    /// Certified signing key (signature envelopes).
+    Pki {
+        /// The vehicle's signer.
+        signer: Signer,
+        /// Its certificate from the trusted authority.
+        certificate: Certificate,
+    },
+}
+
+/// The freshest kinematic information heard from a peer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeardPeer {
+    /// Who the information claims to be from.
+    pub principal: PrincipalId,
+    /// The kinematic content.
+    pub peer: CommPeer,
+    /// Simulation time the beacon was received.
+    pub heard_at: f64,
+}
+
+/// Per-vehicle communication state.
+#[derive(Clone, Debug, Default)]
+pub struct CommState {
+    /// Last beacon accepted from the predecessor.
+    pub predecessor: Option<HeardPeer>,
+    /// Last beacon accepted from the platoon leader.
+    pub leader: Option<HeardPeer>,
+    /// Wire bytes of the last accepted leader beacon, kept for hop-by-hop
+    /// VLC relaying (SP-VLC forwards the leader's message down the optical
+    /// chain; the signature inside stays valid because the bytes are
+    /// verbatim).
+    pub leader_envelope: Option<Vec<u8>>,
+}
+
+impl CommState {
+    /// Converts stored beacons into controller inputs, computing ages.
+    pub fn comm_peer_predecessor(&self, now: f64) -> Option<CommPeer> {
+        self.predecessor.map(|h| CommPeer {
+            age: (now - h.heard_at).max(0.0),
+            ..h.peer
+        })
+    }
+
+    /// Leader view with age, for the controller.
+    pub fn comm_peer_leader(&self, now: f64) -> Option<CommPeer> {
+        self.leader.map(|h| CommPeer {
+            age: (now - h.heard_at).max(0.0),
+            ..h.peer
+        })
+    }
+}
+
+/// Falsified content an inside attacker (or malware) injects into the
+/// vehicle's own beacons — the "deliberately transmit false or misleading
+/// information" FDI variant of §V-A.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BeaconLie {
+    /// Added to the claimed position.
+    pub position_offset: f64,
+    /// Added to the claimed speed.
+    pub speed_offset: f64,
+    /// Added to the claimed acceleration.
+    pub accel_offset: f64,
+}
+
+impl BeaconLie {
+    /// Whether the lie actually changes anything.
+    pub fn is_active(&self) -> bool {
+        self.position_offset != 0.0 || self.speed_offset != 0.0 || self.accel_offset != 0.0
+    }
+}
+
+/// A vehicle participating in the simulation.
+#[derive(Debug)]
+pub struct VehicleNode {
+    /// Application-level identity (pseudonymous or long-term).
+    pub principal: PrincipalId,
+    /// Radio identity.
+    pub node: NodeId,
+    /// Longitudinal dynamics.
+    pub vehicle: Vehicle,
+    /// On-board sensors (attack surface for spoofing/jamming).
+    pub sensors: SensorSuite,
+    /// Longitudinal controller.
+    pub controller: Box<dyn LongitudinalController>,
+    /// Current role.
+    pub role: Role,
+    /// Which platoon this vehicle currently belongs to.
+    pub platoon: PlatoonId,
+    /// Beacon sequence counter.
+    pub seq: u64,
+    /// Encryption nonce counter (never reused within a run).
+    pub nonce: u64,
+    /// Communication state (freshest accepted beacons).
+    pub comm: CommState,
+    /// Credential material.
+    pub auth: AuthMaterial,
+    /// Fuel accounting.
+    pub fuel: FuelMeter,
+    /// Extra front gap currently commanded (join gaps, fake manoeuvres).
+    pub extra_front_gap: f64,
+    /// Time at which `extra_front_gap` expires (simulation seconds).
+    pub extra_gap_until: f64,
+    /// Falsification applied to this vehicle's own outgoing beacons.
+    pub beacon_lie: Option<BeaconLie>,
+    /// Whether on-board malware has compromised this vehicle.
+    pub infected: bool,
+    /// Whether on-board hardening (firewall + component isolation, Table III
+    /// "Securing Onboard Systems") is deployed; malware spread respects it.
+    pub hardened: bool,
+    /// Whether the platooning service is operational (malware can disable).
+    pub platooning_enabled: bool,
+    /// Lateral lane offset in metres (0 = platoon lane).
+    pub lane_offset: f64,
+}
+
+impl VehicleNode {
+    /// Radio position of the vehicle.
+    pub fn position(&self) -> Position {
+        (self.vehicle.state.position, self.lane_offset)
+    }
+}
+
+/// A roadside unit: fixed infrastructure with a radio and a trusted link to
+/// the authority.
+#[derive(Clone, Debug)]
+pub struct Rsu {
+    /// Radio identity.
+    pub node: NodeId,
+    /// Fixed position.
+    pub position: Position,
+    /// Whether this RSU is compromised (the "rogue RSU" open challenge).
+    pub compromised: bool,
+}
+
+/// Mutable world state threaded through the engine and the attack/defense
+/// hooks.
+#[derive(Debug)]
+pub struct World {
+    /// Simulation time in seconds.
+    pub time: f64,
+    /// Vehicles ordered front (index 0 = original leader) to back.
+    pub vehicles: Vec<VehicleNode>,
+    /// Roadside units.
+    pub rsus: Vec<Rsu>,
+    /// The shared radio medium.
+    pub medium: RadioMedium,
+    /// Active jammers (attacks add and remove these).
+    pub jammers: Vec<Jammer>,
+}
+
+impl World {
+    /// Index of the vehicle with the given principal, if any.
+    pub fn index_of(&self, principal: PrincipalId) -> Option<usize> {
+        self.vehicles.iter().position(|v| v.principal == principal)
+    }
+
+    /// Index of the vehicle with the given radio node, if any.
+    pub fn index_of_node(&self, node: NodeId) -> Option<usize> {
+        self.vehicles.iter().position(|v| v.node == node)
+    }
+
+    /// True bumper-to-bumper gap in front of vehicle `idx` **within the same
+    /// platoon** (ground truth; sensors add noise and faults on top).
+    pub fn true_gap(&self, idx: usize) -> Option<f64> {
+        if idx == 0 {
+            return None;
+        }
+        let ahead = &self.vehicles[idx - 1];
+        if ahead.platoon != self.vehicles[idx].platoon {
+            // Predecessor belongs to another platoon; still physically ahead.
+        }
+        Some(self.vehicles[idx].vehicle.gap_to(&ahead.vehicle))
+    }
+
+    /// True range rate (positive = opening) in front of vehicle `idx`.
+    pub fn true_range_rate(&self, idx: usize) -> Option<f64> {
+        if idx == 0 {
+            return None;
+        }
+        Some(self.vehicles[idx - 1].vehicle.state.speed - self.vehicles[idx].vehicle.state.speed)
+    }
+
+    /// Platoon-local index of vehicle `idx`: how many vehicles ahead of it
+    /// share its platoon id (0 = it leads its platoon).
+    pub fn platoon_local_index(&self, idx: usize) -> usize {
+        let pid = self.vehicles[idx].platoon;
+        self.vehicles[..idx]
+            .iter()
+            .filter(|v| v.platoon == pid)
+            .count()
+    }
+
+    /// Index of the vehicle currently leading `idx`'s platoon.
+    pub fn platoon_leader_index(&self, idx: usize) -> usize {
+        let pid = self.vehicles[idx].platoon;
+        self.vehicles
+            .iter()
+            .position(|v| v.platoon == pid)
+            .expect("vehicle idx itself matches")
+    }
+
+    /// Number of distinct platoon ids present (fragmentation metric).
+    pub fn platoon_count(&self) -> usize {
+        let mut ids: Vec<PlatoonId> = self.vehicles.iter().map(|v| v.platoon).collect();
+        ids.sort();
+        ids.dedup();
+        ids.len()
+    }
+}

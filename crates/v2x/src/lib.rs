@@ -1,0 +1,113 @@
+//! # platoon-v2x
+//!
+//! Simulated V2X wireless substrate for the platoon security suite
+//! (reproduction of Taylor et al., DSN-W 2021). Replaces the real IEEE
+//! 802.11p / C-V2X / VLC hardware the paper's attack surface lives on:
+//!
+//! * [`message`] — frames, node ids, channels, deliveries.
+//! * [`channel`] — log-distance + Nakagami-m DSRC propagation with SINR
+//!   reception.
+//! * [`medium`] — the shared broadcast medium with a CSMA/CA-flavoured MAC,
+//!   C-V2X semi-persistent slots and VLC optical links.
+//! * [`vlc`] — the line-of-sight visible-light channel used by the SP-VLC
+//!   hybrid defense.
+//! * [`jamming`] — continuous / periodic / reactive RF jammers.
+//! * [`stats`] — PDR, latency and beacon-age accounting.
+//!
+//! The substrate is *open by construction*: any node can transmit any bytes
+//! on any channel, and any node within radio range receives — this mirrors
+//! the paper's core observation (§I) that 802.11p's open broadcast medium is
+//! what makes platoons attackable, and it is what the attack crate exploits.
+//!
+//! # Examples
+//!
+//! ```
+//! use platoon_v2x::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let medium = RadioMedium::default();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let frame = Frame {
+//!     sender: NodeId(0),
+//!     origin: (0.0, 0.0),
+//!     power_dbm: 20.0,
+//!     channel: ChannelKind::Dsrc,
+//!     payload: b"beacon".to_vec(),
+//! };
+//! let receivers = vec![Receiver { id: NodeId(1), position: (15.0, 0.0) }];
+//! let (deliveries, stats) = medium.step(0.0, &[frame], &receivers, &[], &mut rng);
+//! assert_eq!(deliveries.len(), 1);
+//! assert_eq!(stats.delivered, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod jamming;
+pub mod medium;
+pub mod message;
+pub mod stats;
+pub mod vlc;
+
+/// Convenient glob-import of the crate's primary types.
+pub mod prelude {
+    pub use crate::channel::{dbm_to_mw, mw_to_dbm, DsrcPhy};
+    pub use crate::jamming::{Jammer, JammingStrategy};
+    pub use crate::medium::{RadioMedium, Receiver, StepStats};
+    pub use crate::message::{distance, ChannelKind, Delivery, Frame, NodeId, Position};
+    pub use crate::stats::{BeaconAgeTracker, LinkStats};
+    pub use crate::vlc::VlcPhy;
+}
+
+#[cfg(test)]
+mod proptests {
+    use crate::prelude::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    proptest! {
+        /// Delivered + lost never exceeds offered × receivers, and a sender
+        /// never hears itself.
+        #[test]
+        fn medium_accounting_consistent(n_frames in 1usize..6, n_rx in 1usize..6, seed in 0u64..500) {
+            let medium = RadioMedium::default();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let frames: Vec<Frame> = (0..n_frames).map(|i| Frame {
+                sender: NodeId(i as u64),
+                origin: (i as f64 * 20.0, 0.0),
+                power_dbm: 20.0,
+                channel: ChannelKind::Dsrc,
+                payload: vec![0; 50],
+            }).collect();
+            let receivers: Vec<Receiver> = (0..n_rx).map(|i| Receiver {
+                id: NodeId(i as u64),
+                position: (i as f64 * 20.0, 0.0),
+            }).collect();
+            let (deliveries, stats) = medium.step(0.0, &frames, &receivers, &[], &mut rng);
+            prop_assert_eq!(stats.offered, n_frames);
+            prop_assert!(deliveries.iter().all(|d| d.sender != d.receiver));
+            prop_assert_eq!(deliveries.len(), stats.delivered);
+            prop_assert!(stats.delivered + stats.lost <= n_frames * n_rx);
+        }
+
+        /// Path loss is monotone in distance.
+        #[test]
+        fn path_loss_monotone(d1 in 1.0f64..5000.0, d2 in 1.0f64..5000.0) {
+            let phy = DsrcPhy::default();
+            let (near, far) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
+            prop_assert!(phy.median_rx_power_dbm(20.0, near) >= phy.median_rx_power_dbm(20.0, far));
+        }
+
+        /// PDR is always within [0, 1].
+        #[test]
+        fn pdr_bounded(offers in 1u64..50, hits in 0u64..50) {
+            let mut s = LinkStats::new();
+            for _ in 0..offers { s.record_offer(NodeId(1)); }
+            for _ in 0..hits.min(offers) { s.record_delivery(NodeId(1), NodeId(2), 0.001); }
+            let pdr = s.pdr(NodeId(1), NodeId(2)).unwrap();
+            prop_assert!((0.0..=1.0).contains(&pdr));
+        }
+    }
+}

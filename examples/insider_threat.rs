@@ -1,0 +1,83 @@
+//! The hardest case in the paper's catalogue: the **insider** (§V-A FDI) —
+//! a legitimate member with valid keys that simply lies. Cryptography is
+//! powerless by construction; only behavioural defenses respond.
+//!
+//! ```text
+//! cargo run --release --example insider_threat
+//! ```
+
+use platoon_security::prelude::*;
+
+fn scenario(label: &str, auth: AuthMode) -> Scenario {
+    Scenario::builder()
+        .label(label)
+        .vehicles(6)
+        .profile(SpeedProfile::BrakeTest {
+            cruise: 25.0,
+            low: 15.0,
+            brake_at: 8.0,
+            hold: 5.0,
+        })
+        .auth(auth)
+        .duration(60.0)
+        .seed(37)
+        .build()
+}
+
+fn insider() -> FalsificationAttack {
+    FalsificationAttack::new(FalsificationConfig {
+        insider_index: 2,
+        start: 15.0,
+        end: f64::INFINITY,
+        lie: BeaconLieConfig {
+            accel_offset: -4.0,
+            ..Default::default()
+        },
+    })
+}
+
+fn main() {
+    println!("§V-A: 'The attacker can deliberately transmit false or misleading");
+    println!("information. Members of the platoon will react to this information");
+    println!("believing that it is from a legitimate source.'\n");
+
+    let baseline = Engine::new(scenario("baseline", AuthMode::Pki)).run();
+
+    // PKI alone: the insider's lies carry *valid* signatures.
+    let mut pki = Engine::new(scenario("insider+pki", AuthMode::Pki));
+    pki.add_attack(Box::new(insider()));
+    let pki_run = pki.run();
+
+    // Behavioural layer: resilient control bounds what the lies can do.
+    let mut mitigated = Engine::new(scenario("insider+mitigation", AuthMode::Pki));
+    mitigated.add_attack(Box::new(insider()));
+    mitigated.add_defense(Box::new(
+        MitigationDefense::new(MitigationConfig::default()),
+    ));
+    let mitigated_run = mitigated.run();
+
+    println!(
+        "{:<26} {:>12} {:>10} {:>10}",
+        "arm", "osc. energy", "max err", "rejected"
+    );
+    for (name, s) in [
+        ("clean baseline (PKI)", &baseline),
+        ("insider, PKI only", &pki_run),
+        ("insider + resilience", &mitigated_run),
+    ] {
+        println!(
+            "{:<26} {:>12.0} {:>9.1}m {:>10}",
+            name, s.oscillation_energy, s.max_spacing_error, s.rejected_messages
+        );
+    }
+
+    println!(
+        "\nshape: every insider lie verified perfectly ({} rejected messages under \
+         PKI — cryptography cannot see the problem). Resilient control cuts the \
+         disturbance {:.0}% without identifying anyone, which is exactly what the \
+         paper says control algorithms can do: 'only reduce the impact of the \
+         attack' (§VI-A.3).",
+        pki_run.rejected_messages,
+        (1.0 - mitigated_run.oscillation_energy / pki_run.oscillation_energy) * 100.0
+    );
+}

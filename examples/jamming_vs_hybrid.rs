@@ -1,0 +1,75 @@
+//! The paper's §V-B jamming scenario vs the §VI-A.4 SP-VLC hybrid defense:
+//! a roadside jammer floods the 802.11p band; the RF-only platoon falls back
+//! to radar gaps (the platooning benefit evaporates), while the hybrid
+//! platoon relays leader data hop-by-hop over the optical channel and holds
+//! formation.
+//!
+//! ```text
+//! cargo run --release --example jamming_vs_hybrid
+//! ```
+
+use platoon_security::prelude::*;
+
+fn scenario(label: &str, comms: CommsMode) -> Scenario {
+    Scenario::builder()
+        .label(label)
+        .vehicles(6)
+        .comms(comms)
+        .duration(60.0)
+        .seed(5)
+        .build()
+}
+
+fn jammer() -> JammingAttack {
+    JammingAttack::new(JammingConfig {
+        start: 10.0,
+        power_dbm: 33.0,
+        ..Default::default()
+    })
+}
+
+fn main() {
+    println!("§V-B: 'it becomes impossible for the platoon to maintain its");
+    println!("communications ... All savings are lost by disbanding the platoon.'\n");
+
+    let clean = Engine::new(scenario("clean", CommsMode::DsrcOnly)).run();
+
+    let mut rf = Engine::new(scenario("jammed RF-only", CommsMode::DsrcOnly));
+    rf.add_attack(Box::new(jammer()));
+    let rf_run = rf.run();
+
+    let mut hybrid = Engine::new(scenario("jammed hybrid VLC", CommsMode::HybridVlc));
+    hybrid.add_attack(Box::new(jammer()));
+    let hybrid_run = hybrid.run();
+
+    println!(
+        "{:<22} {:>9} {:>12} {:>10} {:>12}",
+        "arm", "PDR", "info age", "max err", "fuel L/100km"
+    );
+    for (name, s) in [
+        ("clean", &clean),
+        ("jammed, RF only", &rf_run),
+        ("jammed, hybrid VLC", &hybrid_run),
+    ] {
+        println!(
+            "{:<22} {:>9.3} {:>10.2}s {:>9.1}m {:>12.1}",
+            name,
+            s.leader_tail_pdr,
+            s.tail_leader_age_mean,
+            s.max_spacing_error,
+            s.fuel_l_per_100km
+        );
+    }
+
+    println!(
+        "\nshape: jamming crushes RF delivery (PDR {:.2} → {:.2}) and the RF-only \
+         string opens to radar-fallback gaps ({:.0} m error). The hybrid arm keeps \
+         leader data {:.1} s fresh through the optical relay chain and holds its \
+         10 m gaps — and burns {:.1}% less fuel than the jammed RF platoon.",
+        clean.leader_tail_pdr,
+        rf_run.leader_tail_pdr,
+        rf_run.max_spacing_error,
+        hybrid_run.tail_leader_age_mean,
+        (1.0 - hybrid_run.fuel_l_per_100km / rf_run.fuel_l_per_100km) * 100.0
+    );
+}

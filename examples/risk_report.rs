@@ -1,0 +1,51 @@
+//! Regenerates the paper's taxonomies and the ISO/SAE 21434-style risk
+//! assessment that answers its §VI-B.4 open challenge.
+//!
+//! ```text
+//! cargo run --release --example risk_report
+//! cargo run --release --example risk_report -- --measure   # adds measured Table II
+//! ```
+
+use platoon_core::experiments::table2;
+use platoon_core::{risk, surveys};
+
+fn main() {
+    // Table I: the related-survey landscape and its platoon gap.
+    println!("{}", surveys::render_table1().render());
+    println!("{}", surveys::render_coverage_matrix().render());
+
+    // The attack catalogue (Table II as data).
+    println!("== Table II — the canonical attack catalogue ==");
+    for d in platoon_security::attacks::registry::catalog() {
+        println!(
+            "{:<28} [{}] {} — assets: {:?}  (impl: {}, experiment {})",
+            d.display_name, d.attribute, d.section, d.assets, d.module, d.experiment
+        );
+    }
+    println!();
+
+    // The mechanism catalogue (Table III as data) with open challenges.
+    println!("== Table III — mechanisms and open challenges ==");
+    for m in platoon_security::defense::registry::catalog() {
+        println!("{:<26} mitigates {:?}", m.display_name, m.mitigates);
+        println!("{:<26} open challenge: {}", "", m.open_challenge);
+    }
+    println!();
+
+    // The risk assessment (experiment F11).
+    println!("{}", risk::render_risk_table().render());
+    println!("rationales:");
+    for e in risk::assessment() {
+        println!(
+            "  {:<22} feasibility: {}",
+            e.display_name, e.feasibility_rationale
+        );
+        println!("  {:<22} impact     : {}", "", e.impact_rationale);
+    }
+
+    if std::env::args().any(|a| a == "--measure") {
+        println!("\nmeasuring Table II impacts (quick effort)...");
+        let rows = table2::run(true);
+        println!("{}", table2::render(&rows).render());
+    }
+}

@@ -1,0 +1,79 @@
+//! # platoon-security
+//!
+//! A from-scratch Rust reproduction of **Taylor, Ahmad, Nguyen, Shaikh,
+//! Evans & Price — "Vehicular Platoon Communication: Cybersecurity Threats
+//! and Open Challenges" (IEEE/IFIP DSN-W 2021)**: the canonical, executable
+//! attack & defense suite for platoon communication the paper calls for,
+//! built on a hand-rolled platooning simulator (Plexe-class dynamics, a
+//! DSRC/VLC/C-V2X radio substrate, the platoon management protocol and a
+//! simulation-grade PKI).
+//!
+//! This crate is the facade: it re-exports every member crate and provides
+//! the [`prelude`]. See the individual crates for the subsystems:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`crypto`] | SHA-256, HMAC, Schnorr signatures, certificates, pseudonyms, fading-channel key agreement, anti-replay windows |
+//! | [`dynamics`] | vehicle model, ACC/CACC/Ploeg/consensus controllers, sensors, stability/fuel/safety metrics |
+//! | [`v2x`] | DSRC channel with fading and SINR, CSMA MAC, VLC, C-V2X, jammers |
+//! | [`proto`] | beacons, manoeuvre messages, wire codec, envelopes, membership, join/leave/split engine |
+//! | [`sim`] | the scenario-driven simulation engine with attack/defense hooks |
+//! | [`attacks`] | the Table II attack suite (replay, Sybil, jamming, DoS, …) |
+//! | [`defense`] | the Table III mechanism suite (keys, RSU, VPD-ADA, SP-VLC, …) |
+//! | [`core`] | taxonomies, the ISO/SAE 21434 risk framework and the experiment runner |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use platoon_security::prelude::*;
+//!
+//! // An 8-truck CACC platoon, 30 simulated seconds, no attacks.
+//! let scenario = Scenario::builder().vehicles(8).duration(30.0).build();
+//! let summary = Engine::new(scenario).run();
+//! assert_eq!(summary.collisions, 0);
+//! assert!(summary.string_stable);
+//! ```
+//!
+//! Attacking and defending it:
+//!
+//! ```
+//! use platoon_security::prelude::*;
+//!
+//! let scenario = Scenario::builder().vehicles(6).duration(20.0).build();
+//! let mut engine = Engine::new(scenario);
+//! engine.add_attack(Box::new(ReplayAttack::new(ReplayConfig {
+//!     replay_from: 8.0,
+//!     ..Default::default()
+//! })));
+//! engine.add_defense(Box::new(AntiReplayDefense::timestamp()));
+//! let summary = engine.run();
+//! assert!(summary.rejected_messages > 0); // the replays were filtered
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use platoon_attacks as attacks;
+pub use platoon_core as core;
+pub use platoon_crypto as crypto;
+pub use platoon_defense as defense;
+pub use platoon_dynamics as dynamics;
+pub use platoon_proto as proto;
+pub use platoon_sim as sim;
+pub use platoon_v2x as v2x;
+
+/// Everything needed to build, attack and defend a platoon.
+pub mod prelude {
+    pub use platoon_attacks::prelude::*;
+    pub use platoon_core::prelude::*;
+    pub use platoon_crypto::{
+        CertificateAuthority, KeyPair, PrincipalId, SequenceWindow, Signer, SymmetricKey,
+        TimestampWindow,
+    };
+    pub use platoon_defense::prelude::*;
+    pub use platoon_dynamics::prelude::*;
+    pub use platoon_sim::prelude::*;
+    pub use platoon_v2x::prelude::{
+        ChannelKind, DsrcPhy, Jammer, JammingStrategy, NodeId, RadioMedium, VlcPhy,
+    };
+}

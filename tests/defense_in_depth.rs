@@ -1,0 +1,130 @@
+//! Integration: the full defense stack against a multi-attack storm.
+//!
+//! The paper treats each attack and mechanism separately; a real deployment
+//! faces them together. This test throws four simultaneous attacks (replay,
+//! Sybil, join-flood DoS and a fake-manoeuvre forger) at one platoon and
+//! verifies that the layered Table III stack — PKI envelopes, anti-replay
+//! windows, VPD-ADA physical checks and resilient control — keeps the
+//! platoon intact, stable and honest-members-only.
+
+use platoon_security::prelude::*;
+
+fn storm_scenario(label: &str, auth: AuthMode) -> Scenario {
+    Scenario::builder()
+        .label(label)
+        .vehicles(6)
+        .max_platoon_size(16)
+        .profile(SpeedProfile::BrakeTest {
+            cruise: 25.0,
+            low: 15.0,
+            brake_at: 8.0,
+            hold: 5.0,
+        })
+        .auth(auth)
+        .duration(50.0)
+        .seed(77)
+        .build()
+}
+
+fn add_storm(engine: &mut Engine) {
+    engine.add_attack(Box::new(ReplayAttack::new(ReplayConfig {
+        replay_from: 15.0,
+        ..Default::default()
+    })));
+    engine.add_attack(Box::new(SybilAttack::new(SybilConfig {
+        start: 10.0,
+        ..Default::default()
+    })));
+    engine.add_attack(Box::new(JoinFloodAttack::new(JoinFloodConfig {
+        start: 10.0,
+        ..Default::default()
+    })));
+    engine.add_attack(Box::new(FakeManeuverAttack::new(FakeManeuverConfig {
+        inject_at: 20.0,
+        repeat_period: 5.0,
+        ..Default::default()
+    })));
+}
+
+#[test]
+fn undefended_platoon_succumbs_to_the_storm() {
+    let mut engine = Engine::new(storm_scenario("storm-undefended", AuthMode::None));
+    add_storm(&mut engine);
+    let s = engine.run();
+
+    // At least two of the storm's damage channels must show.
+    let mut damage = 0;
+    if s.oscillation_energy > 10_000.0 {
+        damage += 1; // replay destabilised the string
+    }
+    if engine.maneuvers().roster().len() > 6 {
+        damage += 1; // ghosts infiltrated
+    }
+    if s.fragmented_fraction > 0.2 {
+        damage += 1; // forged split broke the platoon
+    }
+    if s.maneuvers.joins_dropped + s.maneuvers.joins_denied > 50 {
+        damage += 1; // the leader drowned in junk requests
+    }
+    assert!(
+        damage >= 2,
+        "the storm should hurt an undefended platoon: {damage}"
+    );
+}
+
+#[test]
+fn layered_defenses_ride_out_the_storm() {
+    let mut engine = Engine::new(storm_scenario("storm-defended", AuthMode::Pki));
+    add_storm(&mut engine);
+    engine.add_defense(Box::new(AntiReplayDefense::timestamp()));
+    engine.add_defense(Box::new(VpdAdaDefense::new(VpdAdaConfig::default())));
+    engine.add_defense(Box::new(
+        MitigationDefense::new(MitigationConfig::default()),
+    ));
+    let s = engine.run();
+
+    assert_eq!(s.collisions, 0, "the defended platoon must not crash");
+    assert_eq!(
+        engine.maneuvers().roster().len(),
+        6,
+        "no ghost may enter the roster"
+    );
+    assert_eq!(s.fragmented_fraction, 0.0, "forged splits must be ignored");
+    assert!(
+        s.rejected_messages > 500,
+        "the stack should be visibly rejecting attack traffic: {}",
+        s.rejected_messages
+    );
+
+    // Compare stability against the same storm without defenses.
+    let mut undefended = Engine::new(storm_scenario("storm-ref", AuthMode::None));
+    add_storm(&mut undefended);
+    let u = undefended.run();
+    assert!(
+        s.oscillation_energy < 0.5 * u.oscillation_energy,
+        "the stack should cut the disturbance: {} vs {}",
+        s.oscillation_energy,
+        u.oscillation_energy
+    );
+}
+
+#[test]
+fn defense_stack_does_not_harm_a_clean_platoon() {
+    let mut engine = Engine::new(storm_scenario("clean-defended", AuthMode::Pki));
+    engine.add_defense(Box::new(AntiReplayDefense::timestamp()));
+    engine.add_defense(Box::new(VpdAdaDefense::new(VpdAdaConfig::default())));
+    engine.add_defense(Box::new(
+        MitigationDefense::new(MitigationConfig::default()),
+    ));
+    let s = engine.run();
+
+    let clean = Engine::new(storm_scenario("clean-ref", AuthMode::None)).run();
+    assert_eq!(s.collisions, 0);
+    assert_eq!(s.detections, 0, "no false detections on honest traffic");
+    assert!(
+        s.max_spacing_error < clean.max_spacing_error * 1.5 + 1.0,
+        "defense overhead must not degrade tracking: {} vs {}",
+        s.max_spacing_error,
+        clean.max_spacing_error
+    );
+}

@@ -1,0 +1,138 @@
+//! Integration: failure injection — the platoon under *non-adversarial*
+//! faults. A security stack that falls over on ordinary packet loss or a
+//! flaky sensor would be useless on a real road.
+
+use platoon_security::prelude::*;
+use platoon_security::sim::world::World;
+use platoon_security::v2x::prelude::RadioMedium;
+use rand::rngs::StdRng;
+use std::any::Any;
+
+/// A lossy-channel fault: degrades the PHY so that fading losses are common
+/// (models heavy rain / urban clutter, not an attack).
+fn lossy_medium() -> RadioMedium {
+    let mut m = RadioMedium::default();
+    // Raise the noise floor 12 dB: fringe links get marginal.
+    m.dsrc.noise_floor_dbm += 12.0;
+    m
+}
+
+/// A benign "fault agent" that randomly blinds one vehicle's radar for short
+/// windows (sensor dropouts).
+#[derive(Debug)]
+struct RadarFlaker {
+    victim: usize,
+    outage_until: f64,
+}
+
+impl Attack for RadarFlaker {
+    fn name(&self) -> &'static str {
+        "radar-flaker"
+    }
+
+    fn attribute(&self) -> SecurityAttribute {
+        SecurityAttribute::Availability
+    }
+
+    fn before_comm(&mut self, world: &mut World, rng: &mut StdRng) {
+        use platoon_security::dynamics::sensors::SensorFault;
+        use rand::Rng;
+        let now = world.time;
+        let Some(v) = world.vehicles.get_mut(self.victim) else {
+            return;
+        };
+        if now < self.outage_until {
+            v.sensors.radar.fault = SensorFault::Outage;
+        } else {
+            v.sensors.radar.fault = SensorFault::None;
+            // ~1 outage of 0.5 s per 5 s on average.
+            if rng.gen_range(0.0..1.0) < 0.02 {
+                self.outage_until = now + 0.5;
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+#[test]
+fn platoon_survives_a_degraded_channel() {
+    let scenario = Scenario::builder()
+        .vehicles(6)
+        .medium(lossy_medium())
+        .duration(40.0)
+        .seed(21)
+        .build();
+    let s = Engine::new(scenario).run();
+    assert_eq!(
+        s.collisions, 0,
+        "packet loss alone must never crash the platoon"
+    );
+    // Losses show, but the platoon remains usable.
+    assert!(s.leader_tail_pdr < 1.0);
+    assert!(s.max_spacing_error < 25.0);
+}
+
+#[test]
+fn platoon_survives_radar_dropouts() {
+    let scenario = Scenario::builder()
+        .vehicles(6)
+        .duration(40.0)
+        .seed(22)
+        .build();
+    let mut engine = Engine::new(scenario);
+    engine.add_attack(Box::new(RadarFlaker {
+        victim: 3,
+        outage_until: 0.0,
+    }));
+    let s = engine.run();
+    assert_eq!(s.collisions, 0, "sensor dropouts are routine, not fatal");
+    assert!(s.min_gap > 2.0, "gap margin survived: {}", s.min_gap);
+}
+
+#[test]
+fn defenses_tolerate_the_degraded_channel() {
+    // Packet loss must not trigger false detections or evictions.
+    let scenario = Scenario::builder()
+        .vehicles(6)
+        .auth(AuthMode::Pki)
+        .medium(lossy_medium())
+        .duration(40.0)
+        .seed(23)
+        .build();
+    let mut engine = Engine::new(scenario);
+    engine.add_defense(Box::new(AntiReplayDefense::timestamp()));
+    engine.add_defense(Box::new(VpdAdaDefense::new(VpdAdaConfig::default())));
+    engine.add_defense(Box::new(TrustDefense::new(TrustConfig::default())));
+    let s = engine.run();
+    assert_eq!(s.collisions, 0);
+    assert_eq!(s.detections, 0, "loss must not look like misbehaviour");
+}
+
+#[test]
+fn leader_dropout_degrades_gracefully() {
+    // The leader's platooning service dies mid-run (hardware fault): the
+    // followers lose their feed and degrade to radar following without a
+    // crash.
+    let scenario = Scenario::builder()
+        .vehicles(5)
+        .duration(40.0)
+        .seed(24)
+        .build();
+    let mut engine = Engine::new(scenario);
+    for _ in 0..150 {
+        engine.step();
+    }
+    engine.world_mut().vehicles[0].platooning_enabled = false;
+    for _ in 0..250 {
+        engine.step();
+    }
+    let s = engine.summary();
+    assert_eq!(
+        s.collisions, 0,
+        "losing the leader's comms must be survivable"
+    );
+    assert!(s.service_down_fraction > 0.4);
+}

@@ -1,0 +1,221 @@
+//! Integration: the legitimate manoeuvre protocol end to end — the flows
+//! §II-B describes, which the fake-manoeuvre attack later abuses.
+
+use platoon_security::prelude::*;
+use platoon_security::proto::messages::PlatoonId;
+
+#[test]
+fn leader_initiated_split_divides_the_platoon_cleanly() {
+    let scenario = Scenario::builder()
+        .vehicles(6)
+        .duration(40.0)
+        .seed(61)
+        .build();
+    let mut engine = Engine::new(scenario);
+
+    // Cruise 10 s, split behind the third vehicle, run out the clock.
+    for _ in 0..100 {
+        engine.step();
+    }
+    let new_platoon = engine.command_split(3).expect("valid split index");
+    for _ in 0..300 {
+        engine.step();
+    }
+    let s = engine.summary();
+
+    // Membership and physics agree.
+    assert_eq!(
+        engine.maneuvers().roster().len(),
+        3,
+        "front roster after split"
+    );
+    assert_eq!(engine.world().platoon_count(), 2, "two physical platoons");
+    assert_eq!(
+        engine.world().vehicles[3].platoon,
+        new_platoon,
+        "vehicle 3 leads the new platoon"
+    );
+    assert_eq!(
+        engine.world().vehicles[3].role,
+        platoon_security::proto::messages::Role::Leader
+    );
+    assert_eq!(s.collisions, 0, "a commanded split must be safe");
+    assert!(s.fragmented_fraction > 0.5, "the split persisted");
+    // The split-off platoon opens to ACC spacing behind the front platoon.
+    let gap = engine.world().true_gap(3).unwrap();
+    assert!(
+        gap > 15.0,
+        "split-off leader backs off to a safe gap: {gap}"
+    );
+}
+
+#[test]
+fn leader_initiated_gap_open_and_expiry() {
+    let scenario = Scenario::builder()
+        .vehicles(5)
+        .duration(40.0)
+        .seed(62)
+        .build();
+    let mut engine = Engine::new(scenario);
+    for _ in 0..50 {
+        engine.step();
+    }
+    engine.command_gap_open(2, 20.0);
+    // Give the platoon time to open the gap.
+    for _ in 0..150 {
+        engine.step();
+    }
+    let gap_open = engine.world().true_gap(2).unwrap();
+    assert!(
+        gap_open > 20.0,
+        "member 2 should open ~30 m total front gap, got {gap_open}"
+    );
+    // The gap expires after the join timeout (default 15 s) and closes again.
+    for _ in 0..200 {
+        engine.step();
+    }
+    let gap_closed = engine.world().true_gap(2).unwrap();
+    assert!(
+        gap_closed < 13.0,
+        "the phantom gap must close after expiry, got {gap_closed}"
+    );
+    assert_eq!(engine.summary().collisions, 0);
+}
+
+#[test]
+fn member_leave_request_is_processed() {
+    use platoon_security::proto::envelope::Envelope;
+    use platoon_security::proto::messages::PlatoonMessage;
+    use platoon_security::sim::attack::{Attack, SecurityAttribute};
+    use platoon_security::sim::world::World;
+    use platoon_security::v2x::message::{ChannelKind, Frame, NodeId};
+    use rand::rngs::StdRng;
+    use std::any::Any;
+
+    /// A member (vehicle 3) announcing its departure at t = 10 s.
+    #[derive(Debug)]
+    struct Leaver {
+        sent: bool,
+    }
+
+    impl Attack for Leaver {
+        fn name(&self) -> &'static str {
+            "leaver"
+        }
+        fn attribute(&self) -> SecurityAttribute {
+            SecurityAttribute::Availability
+        }
+        fn on_air(&mut self, world: &mut World, _rng: &mut StdRng, frames: &mut Vec<Frame>) {
+            if self.sent || world.time < 10.0 {
+                return;
+            }
+            self.sent = true;
+            let v = &world.vehicles[3];
+            let msg = PlatoonMessage::LeaveRequest {
+                member: v.principal,
+                platoon: v.platoon,
+                timestamp: world.time,
+            };
+            frames.push(Frame {
+                sender: v.node,
+                origin: v.position(),
+                power_dbm: world.medium.dsrc.default_tx_power_dbm,
+                channel: ChannelKind::Dsrc,
+                payload: Envelope::plain(v.principal, &msg).encode(),
+            });
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    let scenario = Scenario::builder()
+        .vehicles(5)
+        .duration(20.0)
+        .seed(63)
+        .build();
+    let mut engine = Engine::new(scenario);
+    engine.add_attack(Box::new(Leaver { sent: false }));
+    let s = engine.run();
+    assert_eq!(
+        engine.maneuvers().roster().len(),
+        4,
+        "the member left the roster"
+    );
+    assert_eq!(s.maneuvers.leaves, 1);
+    assert!(!engine
+        .maneuvers()
+        .roster()
+        .contains(platoon_security::crypto::cert::PrincipalId(3)));
+}
+
+#[test]
+fn split_then_legitimate_rejoin_of_capacity() {
+    // After a split the front platoon has spare capacity; a joiner fills it.
+    let scenario = Scenario::builder()
+        .vehicles(4)
+        .max_platoon_size(8)
+        .duration(40.0)
+        .seed(64)
+        .build();
+    let mut engine = Engine::new(scenario);
+    for _ in 0..50 {
+        engine.step();
+    }
+    engine.command_split(2).unwrap();
+    engine.add_attack(Box::new(
+        JoinerAgent::new(
+            PrincipalId(800),
+            NodeId(800),
+            JoinerCredentials::None,
+            PlatoonId(1),
+            1.0,
+        )
+        .with_start(10.0),
+    ));
+    for _ in 0..350 {
+        engine.step();
+    }
+    let joiner = engine.attacks()[0]
+        .as_any()
+        .downcast_ref::<JoinerAgent>()
+        .unwrap();
+    assert!(
+        joiner.outcome().accepted,
+        "the joiner takes the freed capacity"
+    );
+}
+
+#[test]
+fn split_then_merge_reforms_the_platoon() {
+    let scenario = Scenario::builder()
+        .vehicles(6)
+        .duration(60.0)
+        .seed(65)
+        .build();
+    let mut engine = Engine::new(scenario);
+    for _ in 0..50 {
+        engine.step();
+    }
+    engine.command_split(3).unwrap();
+    for _ in 0..150 {
+        engine.step();
+    }
+    assert_eq!(engine.world().platoon_count(), 2, "split took effect");
+
+    let merged = engine.command_merge();
+    assert_eq!(merged, 3, "three vehicles rejoin");
+    for _ in 0..250 {
+        engine.step();
+    }
+    let s = engine.summary();
+    assert_eq!(engine.world().platoon_count(), 1, "platoon reformed");
+    assert_eq!(engine.maneuvers().roster().len(), 6, "full roster restored");
+    assert_eq!(s.collisions, 0);
+    // The reformed followers have closed back toward the CACC set-point.
+    let gap = engine.world().true_gap(3).unwrap();
+    assert!(
+        gap < 20.0,
+        "the reformed platoon should be closing the gap, got {gap}"
+    );
+}
