@@ -267,11 +267,45 @@ pub fn impact_unit(attack: &str) -> &'static str {
     }
 }
 
+/// The base seed the experiment batches derive per-arm seeds from (the
+/// paper's publication year, kept from the original serial drivers).
+pub const EXPERIMENT_BASE_SEED: u64 = 2021;
+
+/// What one experiment arm reports back through the harness: the run summary
+/// plus the per-attack impact scalar, which must be extracted while the
+/// engine is still alive (several impacts downcast attack state).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArmOutcome {
+    /// The run's metrics summary.
+    pub summary: RunSummary,
+    /// [`impact_of`] evaluated on the finished engine.
+    pub impact: f64,
+}
+
+/// Harness job body: runs one (attack, mechanism) arm under the given seed
+/// and reduces it to an [`ArmOutcome`].
+pub fn arm_outcome(attack: &str, mechanism: Option<&str>, effort: Effort, seed: u64) -> ArmOutcome {
+    let (engine, summary) = run_arm_seeded(attack, mechanism, effort, seed);
+    let impact = impact_of(attack, &engine, &summary);
+    ArmOutcome { summary, impact }
+}
+
 /// Runs one (attack, mechanism) arm; `mechanism: None` is the undefended
 /// arm. Returns the engine (for downcasting) and the summary.
 pub fn run_arm(attack: &str, mechanism: Option<&str>, effort: Effort) -> (Engine, RunSummary) {
+    run_arm_seeded(attack, mechanism, effort, EXPERIMENT_BASE_SEED)
+}
+
+/// [`run_arm`] with an explicit scenario seed (the harness derives one per
+/// arm label, so parallel batches stay scheduling-independent).
+pub fn run_arm_seeded(
+    attack: &str,
+    mechanism: Option<&str>,
+    effort: Effort,
+    seed: u64,
+) -> (Engine, RunSummary) {
     let label = format!("{attack}/{}", mechanism.unwrap_or("undefended"));
-    let mut builder = base_scenario(&label, effort);
+    let mut builder = base_scenario(&label, effort).seed(seed);
     // Integrity attacks use the brake-test workload (needs conflicting data
     // windows); others keep the sinusoid default.
     if matches!(attack, "replay" | "insider-fdi") {

@@ -6,8 +6,11 @@
 //! impact next to a clean baseline — turning the table's prose claims into
 //! numbers.
 
-use super::common::{impact_of, impact_unit, run_arm, Effort};
+use super::common::{
+    arm_outcome, impact_of, impact_unit, ArmOutcome, Effort, EXPERIMENT_BASE_SEED,
+};
 use crate::tables::{num, TextTable};
+use platoon_sim::harness::{json, Batch};
 use serde::Serialize;
 
 /// Measured result for one Table II row.
@@ -28,37 +31,54 @@ pub struct Table2Row {
 }
 
 /// Runs the full Table II measurement.
+///
+/// Every (attacked, baseline) arm is an independent job on the experiment
+/// harness, pinned to the canonical [`EXPERIMENT_BASE_SEED`] so the table
+/// keeps the published numbers and stays identical for any worker count.
+/// The undefended-arm labels match Table III's, which keeps the two tables'
+/// shared measurements consistent.
 pub fn run(quick: bool) -> Vec<Table2Row> {
     let effort = Effort::new(quick);
-    let mut rows = Vec::new();
-    for desc in platoon_attacks::registry::catalog() {
+    let catalog = platoon_attacks::registry::catalog();
+    let mut batch: Batch<ArmOutcome> = Batch::new(EXPERIMENT_BASE_SEED);
+    for desc in &catalog {
         // The sensor row covers both radar spoofing and GPS spoofing; run
         // the radar variant here (the GPS variant is F6's subject).
         let attack = desc.name;
-        let (engine, summary) = run_arm(attack, None, effort);
-        let attacked = impact_of(attack, &engine, &summary);
-
+        batch.push_with_seed(
+            format!("{attack}/undefended"),
+            EXPERIMENT_BASE_SEED,
+            move |seed| arm_outcome(attack, None, effort, seed),
+        );
         // Baseline: same scenario, no attack (except the DoS baseline which
         // keeps the legitimate joiner so the metric is comparable).
-        let baseline = baseline_impact(attack, effort);
+        batch.push_with_seed(
+            format!("{attack}/baseline"),
+            EXPERIMENT_BASE_SEED,
+            move |seed| baseline_outcome(attack, effort, seed),
+        );
+    }
+    let entries = batch.run(platoon_sim::harness::default_workers());
 
-        rows.push(Table2Row {
-            attack: attack.to_string(),
+    catalog
+        .iter()
+        .zip(entries.chunks(2))
+        .map(|(desc, pair)| Table2Row {
+            attack: desc.name.to_string(),
             display_name: desc.display_name.to_string(),
             attribute: desc.attribute.to_string(),
-            metric: impact_unit(attack),
-            attacked,
-            baseline,
-        });
-    }
-    rows
+            metric: impact_unit(desc.name),
+            attacked: pair[0].value.impact,
+            baseline: pair[1].value.impact,
+        })
+        .collect()
 }
 
-fn baseline_impact(attack: &str, effort: Effort) -> f64 {
+fn baseline_outcome(attack: &str, effort: Effort, seed: u64) -> ArmOutcome {
     use super::common::{base_scenario, brake_profile, legit_joiner};
     use platoon_sim::prelude::Engine;
 
-    let mut builder = base_scenario(&format!("{attack}/baseline"), effort);
+    let mut builder = base_scenario(&format!("{attack}/baseline"), effort).seed(seed);
     if matches!(attack, "replay" | "insider-fdi") {
         builder = builder.profile(brake_profile());
     }
@@ -66,14 +86,39 @@ fn baseline_impact(attack: &str, effort: Effort) -> f64 {
     if attack == "dos-join-flood" {
         engine.add_attack(Box::new(legit_joiner(effort.duration * 0.25)));
     }
-    if attack == "eavesdrop" {
-        // The baseline for confidentiality is "the eavesdropper exists but
-        // the platoon encrypts": measured in F7; here the clean baseline is
-        // simply zero beacons read (no listener).
-        return 0.0;
-    }
     let summary = engine.run();
-    impact_of(attack, &engine, &summary)
+    // The baseline for confidentiality is "the eavesdropper exists but the
+    // platoon encrypts": measured in F7; here the clean baseline is simply
+    // zero beacons read (no listener).
+    let impact = if attack == "eavesdrop" {
+        0.0
+    } else {
+        impact_of(attack, &engine, &summary)
+    };
+    ArmOutcome { summary, impact }
+}
+
+/// Canonical JSON rendering of the measured rows — the golden-snapshot
+/// document for the Table II attack-effect runs.
+pub fn to_canonical_json(rows: &[Table2Row]) -> String {
+    let mut w = json::Writer::new();
+    w.obj(|w| {
+        w.field_u64("base_seed", EXPERIMENT_BASE_SEED);
+        w.field_arr("rows", |w| {
+            for r in rows {
+                w.elem(|w| {
+                    w.obj(|w| {
+                        w.field_str("attack", &r.attack);
+                        w.field_str("attribute", &r.attribute);
+                        w.field_str("metric", r.metric);
+                        w.field_f64("baseline", r.baseline);
+                        w.field_f64("attacked", r.attacked);
+                    })
+                });
+            }
+        });
+    });
+    w.finish()
 }
 
 /// Renders the measured Table II.
@@ -129,5 +174,14 @@ mod tests {
         let rendered = render(&rows).render();
         assert!(rendered.contains("Sybil"));
         assert!(rendered.contains("Jamming"));
+    }
+
+    #[test]
+    fn quick_table_matches_golden() {
+        use platoon_sim::harness::golden::{self, Tolerance};
+        let rows = run(true);
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/golden/table2_quick.json");
+        golden::assert_matches(&path, &to_canonical_json(&rows), Tolerance::snapshot());
     }
 }

@@ -5,9 +5,11 @@
 //! report the **mitigation factor** — defended impact divided by undefended
 //! impact (lower is better; 1.0 = no effect).
 
-use super::common::{impact_of, run_arm, Effort};
+use super::common::{arm_outcome, ArmOutcome, Effort, EXPERIMENT_BASE_SEED};
 use crate::tables::{num, TextTable};
+use platoon_sim::harness::Batch;
 use serde::Serialize;
+use std::collections::HashMap;
 
 /// Measured result for one (mechanism, attack) cell.
 #[derive(Clone, Debug, PartialEq, Serialize)]
@@ -53,38 +55,69 @@ fn mechanism_variant(mechanism: &str, attack: &str) -> String {
 }
 
 /// Runs the full Table III matrix.
+///
+/// The (mechanism, attack) pair list is flattened into one harness batch:
+/// every *distinct* attack contributes a single undefended arm (the serial
+/// driver re-ran it once per mechanism — deduplicating removes ~40% of the
+/// runs) and every pair contributes one defended arm. Every arm pins the
+/// canonical [`EXPERIMENT_BASE_SEED`], so the matrix keeps the published
+/// numbers, is identical for any worker count, and the undefended labels
+/// match Table II's for cross-table consistency.
 pub fn run(quick: bool) -> Vec<Table3Cell> {
     let effort = Effort::new(quick);
-    let mut cells = Vec::new();
+
+    // Flatten the claim matrix first, so the batch can be built in one pass.
+    let mut pairs: Vec<(&str, &str, String)> = Vec::new();
     for mech in platoon_defense::registry::catalog() {
         for attack in mech.mitigates {
-            let variant = mechanism_variant(mech.name, attack);
-            let (u_engine, u_summary) = run_arm(attack, None, effort);
-            let undefended = impact_of(attack, &u_engine, &u_summary);
-            let (d_engine, d_summary) = run_arm(attack, Some(&variant), effort);
-            let defended = impact_of(attack, &d_engine, &d_summary);
-            cells.push(Table3Cell {
-                mechanism: mech.name.to_string(),
-                attack: attack.to_string(),
-                undefended,
-                defended,
-            });
+            pairs.push((mech.name, attack, mechanism_variant(mech.name, attack)));
         }
         // The "keys" row also claims eavesdropping protection (encryption).
         if mech.name == "keys" && !mech.mitigates.contains(&"eavesdrop") {
-            let (u_engine, u_summary) = run_arm("eavesdrop", None, effort);
-            let undefended = impact_of("eavesdrop", &u_engine, &u_summary);
-            let (d_engine, d_summary) = run_arm("eavesdrop", Some("keys-encrypted"), effort);
-            let defended = impact_of("eavesdrop", &d_engine, &d_summary);
-            cells.push(Table3Cell {
-                mechanism: "keys".to_string(),
-                attack: "eavesdrop".to_string(),
-                undefended,
-                defended,
-            });
+            pairs.push(("keys", "eavesdrop", "keys-encrypted".to_string()));
         }
     }
-    cells
+    let mut attacks: Vec<&str> = Vec::new();
+    for (_, attack, _) in &pairs {
+        if !attacks.contains(attack) {
+            attacks.push(attack);
+        }
+    }
+
+    let mut batch: Batch<ArmOutcome> = Batch::new(EXPERIMENT_BASE_SEED);
+    for attack in &attacks {
+        let attack = attack.to_string();
+        batch.push_with_seed(
+            format!("{attack}/undefended"),
+            EXPERIMENT_BASE_SEED,
+            move |seed| arm_outcome(&attack, None, effort, seed),
+        );
+    }
+    for (_, attack, variant) in &pairs {
+        let (attack, variant) = (attack.to_string(), variant.clone());
+        batch.push_with_seed(
+            format!("{attack}/{variant}"),
+            EXPERIMENT_BASE_SEED,
+            move |seed| arm_outcome(&attack, Some(&variant), effort, seed),
+        );
+    }
+    let entries = batch.run(platoon_sim::harness::default_workers());
+
+    let undefended: HashMap<&str, f64> = attacks
+        .iter()
+        .zip(&entries)
+        .map(|(attack, entry)| (*attack, entry.value.impact))
+        .collect();
+    pairs
+        .iter()
+        .zip(&entries[attacks.len()..])
+        .map(|((mech, attack, _), defended)| Table3Cell {
+            mechanism: mech.to_string(),
+            attack: attack.to_string(),
+            undefended: undefended[attack],
+            defended: defended.value.impact,
+        })
+        .collect()
 }
 
 /// Renders the measured Table III.

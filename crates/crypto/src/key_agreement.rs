@@ -98,21 +98,56 @@ impl AgreementOutcome {
         mismatch(&self.bits_a, &self.bits_eve)
     }
 
-    /// Runs simple parity-based reconciliation: blocks of `block` bits whose
-    /// parity differs between A and B are discarded on both sides (parities
-    /// are exchanged publicly, as in the published scheme).
+    /// Runs parity-based reconciliation: blocks of `block` bits whose parity
+    /// differs between A and B are discarded on both sides (parities are
+    /// exchanged publicly, as in the published scheme).
+    ///
+    /// Cascade-style, the pass is repeated with the block boundary shifted
+    /// by half a block each round until a full pass finds no mismatching
+    /// parity. A single pass misses blocks holding an *even* number of bit
+    /// errors; the shifted partition splits such pairs across two blocks,
+    /// so surviving disagreement after convergence needs ever-larger error
+    /// constellations and is vanishingly rare at realistic reciprocity.
     ///
     /// Returns `(key_a, key_b)` as bit vectors.
     pub fn reconcile(&self, block: usize) -> (Vec<bool>, Vec<bool>) {
         assert!(block > 0, "block must be positive");
-        let mut ka = Vec::new();
-        let mut kb = Vec::new();
-        for (ca, cb) in self.bits_a.chunks(block).zip(self.bits_b.chunks(block)) {
-            let pa = ca.iter().filter(|&&b| b).count() % 2;
-            let pb = cb.iter().filter(|&&b| b).count() % 2;
-            if pa == pb {
-                ka.extend_from_slice(ca);
-                kb.extend_from_slice(cb);
+        let mut ka = self.bits_a.clone();
+        let mut kb = self.bits_b.clone();
+        let offsets = [0, block / 2];
+        let mut round = 0usize;
+        let mut consecutive_clean = 0usize;
+        loop {
+            let offset = offsets[round % offsets.len()] % block.max(1);
+            let mut next_a = Vec::with_capacity(ka.len());
+            let mut next_b = Vec::with_capacity(kb.len());
+            let mut dropped = false;
+            let mut start = 0usize;
+            while start < ka.len() {
+                let end = if start == 0 && offset > 0 {
+                    offset.min(ka.len())
+                } else {
+                    (start + block).min(ka.len())
+                };
+                let (ca, cb) = (&ka[start..end], &kb[start..end]);
+                let pa = ca.iter().filter(|&&b| b).count() % 2;
+                let pb = cb.iter().filter(|&&b| b).count() % 2;
+                if pa == pb {
+                    next_a.extend_from_slice(ca);
+                    next_b.extend_from_slice(cb);
+                } else {
+                    dropped = true;
+                }
+                start = end;
+            }
+            ka = next_a;
+            kb = next_b;
+            round += 1;
+            consecutive_clean = if dropped { 0 } else { consecutive_clean + 1 };
+            // Converged: one clean pass at every offset in a row. Rounds are
+            // bounded because every non-clean round drops at least a block.
+            if consecutive_clean >= offsets.len() || ka.is_empty() {
+                break;
             }
         }
         (ka, kb)

@@ -71,7 +71,7 @@ impl Default for MitigationConfig {
             sanity_brake_threshold: 1.0,
             accel_sanity: true,
             deviation_governor: true,
-            governor_deadband: 6.0,
+            governor_deadband: 3.0,
             gap_setpoint: 10.0,
             safety_ttc: Some(2.0),
             override_brake: 6.0,
@@ -171,12 +171,25 @@ impl Defense for MitigationDefense {
             }
             if self.config.brake_sanity && *u < -self.config.sanity_brake_threshold {
                 // Strong brake demand: does the local radar agree there is
-                // anything to brake for?
+                // anything to brake for? CACC's whole benefit is braking on
+                // the *communicated* predecessor deceleration before the gap
+                // visibly closes, so an anticipatory brake while the vehicle
+                // ahead really is decelerating must never be attenuated —
+                // the check only fires when local sensing contradicts the
+                // demand on every axis: healthy gap, not closing, and the
+                // predecessor not braking.
+                let ahead_braking = world.vehicles[idx - 1].vehicle.state.accel < -0.5;
                 if let (Some(gap), Some(rate)) = (gap, rate) {
-                    // A healthy gap that is not closing: the demand
-                    // contradicts local sensing.
-                    if gap > self.config.gap_setpoint - 2.0 && rate > -0.5 {
-                        *u = -self.config.sanity_brake_threshold;
+                    if gap > self.config.gap_setpoint - 2.0 && rate > -0.5 && !ahead_braking {
+                        // Blatant contradiction (gap beyond set-point and
+                        // already opening): cancel the phantom brake
+                        // entirely; otherwise keep a residual so a marginal
+                        // honest cue still bleeds speed.
+                        *u = if gap > self.config.gap_setpoint && rate >= 0.0 {
+                            0.0
+                        } else {
+                            -self.config.sanity_brake_threshold
+                        };
                         self.sanity_blocks += 1;
                     }
                 }
@@ -195,12 +208,31 @@ impl Defense for MitigationDefense {
                 if let (Some(gap), Some(rate)) = (gap, rate) {
                     let err = gap - self.config.gap_setpoint;
                     if err.abs() > self.config.governor_deadband {
+                        // Bounded-deviation semantics: outside the deadband
+                        // the cooperative command may not *oppose* the local
+                        // (radar-only) gap loop. Too close → it may not push
+                        // harder than the blend; too far → it may not brake
+                        // below the blend. Commands that already agree with
+                        // local sensing (honest catch-up at full throttle,
+                        // honest emergency braking) pass untouched, so the
+                        // governor bounds what forged data can do without
+                        // hindering legitimate transients.
                         // Heavily rate-damped local loop: kd/kp ≈ 6 keeps
                         // the governed string from amplifying disturbances
-                        // toward the tail.
+                        // toward the tail. Local sensing gets the majority
+                        // weight: past the deadband the network has already
+                        // demonstrated it cannot be holding the set-point.
                         let u_local = 0.2 * err + 1.2 * rate;
-                        *u = 0.5 * *u + 0.5 * u_local;
-                        self.sanity_blocks += 1;
+                        let blend = 0.3 * *u + 0.7 * u_local;
+                        let governed = if err < 0.0 {
+                            (*u).min(blend)
+                        } else {
+                            (*u).max(blend)
+                        };
+                        if governed != *u {
+                            *u = governed;
+                            self.sanity_blocks += 1;
+                        }
                     }
                 }
             }

@@ -36,6 +36,16 @@ pub struct CaccController {
     pub max_beacon_age: f64,
     /// Fallback command used in degraded mode when even the radar is blind.
     pub blind_fallback_brake: f64,
+    /// Radar-floor trigger: when the kinematic deceleration required to stop
+    /// short of the predecessor exceeds this (m/s²), the floor engages. Set
+    /// high enough that nominal cooperative transients (required decel well
+    /// under 1 m/s²) never touch it.
+    pub aeb_trigger_decel: f64,
+    /// Safety factor applied to the required deceleration once triggered.
+    pub aeb_gain: f64,
+    /// Standstill margin (m) the floor stops short of, so the brake engages
+    /// before the bumpers meet rather than exactly at contact.
+    pub aeb_standstill: f64,
 }
 
 impl Default for CaccController {
@@ -46,6 +56,9 @@ impl Default for CaccController {
             xi: 1.0,
             max_beacon_age: 0.5,
             blind_fallback_brake: -2.0,
+            aeb_trigger_decel: 2.0,
+            aeb_gain: 1.2,
+            aeb_standstill: 2.0,
         }
     }
 }
@@ -116,15 +129,37 @@ impl CaccController {
         let desired = 2.0 + 1.2 * ctx.ego.speed;
         0.23 * (radar.range - desired) + 0.8 * radar.range_rate
     }
+
+    /// AEB-like radar floor: communicated feedforward must never out-vote a
+    /// radar that shows the gap collapsing. When the closing rate demands more
+    /// deceleration than [`Self::aeb_trigger_decel`] to stop short of the
+    /// predecessor, the command is floored at `aeb_gain` times that required
+    /// deceleration (the vehicle model clamps to its physical limit). Inert in
+    /// nominal operation, where the required deceleration stays well below the
+    /// trigger.
+    fn radar_safety_floor(&self, ctx: &ControlContext, u: f64) -> f64 {
+        let Some(radar) = ctx.radar else { return u };
+        if radar.range_rate >= -0.1 {
+            return u;
+        }
+        let margin = (radar.range - self.aeb_standstill).max(0.1);
+        let required = radar.range_rate * radar.range_rate / (2.0 * margin);
+        if required > self.aeb_trigger_decel {
+            u.min(-self.aeb_gain * required)
+        } else {
+            u
+        }
+    }
 }
 
 impl LongitudinalController for CaccController {
     fn command(&mut self, ctx: &ControlContext) -> f64 {
-        match self.mode(ctx) {
+        let u = match self.mode(ctx) {
             CaccMode::Cooperative => self.cooperative_command(ctx),
             CaccMode::RadarFallback => self.radar_fallback_command(ctx),
             CaccMode::Blind => self.blind_fallback_brake,
-        }
+        };
+        self.radar_safety_floor(ctx, u)
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,995 @@
+//! Deterministic parallel experiment harness with golden-summary snapshots.
+//!
+//! The experiment drivers (the scenario matrix, the Table II/III
+//! reproductions, the bench report) all share the same shape: a batch of
+//! independent scenario runs whose [`RunSummary`]s are tabulated afterwards.
+//! This module gives that shape one engine:
+//!
+//! * [`Batch`] — a queue of labelled jobs executed across a `std::thread`
+//!   worker pool. Each job receives a seed derived *only* from its label and
+//!   the batch base seed ([`derive_seed`]), so results are identical
+//!   regardless of worker count or scheduling order.
+//! * [`BatchReport`] — the collected summaries in submission order, with a
+//!   canonical JSON rendering ([`BatchReport::to_canonical_json`]) that is
+//!   byte-for-byte reproducible.
+//! * [`golden`] — snapshot regression: compare a canonical JSON document
+//!   against a committed golden file with explicit per-value float
+//!   tolerances, refresh with `UPDATE_GOLDEN=1`, and fail with a readable
+//!   per-path diff otherwise.
+//! * [`json`] — the tiny canonical JSON writer and parser the above are
+//!   built on (the workspace's serde is an offline no-op stand-in, so
+//!   serialization is explicit and therefore stable by construction).
+
+use crate::metrics::RunSummary;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+/// Derives the per-job seed from the job label and the batch base seed.
+///
+/// FNV-1a over the label bytes, then mixed with the base seed through two
+/// SplitMix64-style avalanche rounds. Pure function of `(label, base_seed)`:
+/// neither worker count nor submission order can influence it, which is what
+/// makes batch results scheduling-independent.
+pub fn derive_seed(label: &str, base_seed: u64) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in label.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    let mut z = h ^ base_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    for _ in 0..2 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+    }
+    z
+}
+
+/// The default worker-pool width: the machine's available parallelism,
+/// falling back to 4 when it cannot be queried. Results never depend on
+/// this — only wall-clock time does.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// One labelled unit of work: a closure from the derived seed to its result.
+///
+/// The closure owns everything it needs (scenario, attack/defense setup) and
+/// builds the `Engine` *inside* the worker, so no shared mutable state exists
+/// between jobs.
+pub struct BatchJob<T> {
+    /// Stable label; the seed is derived from it unless pinned.
+    pub label: String,
+    /// Pinned seed, bypassing label derivation (experiment drivers pin the
+    /// canonical scenario seed so measured tables stay comparable across
+    /// refactors; `None` = derive from the label).
+    pub seed: Option<u64>,
+    /// The work. Receives the job's seed.
+    pub run: Box<dyn FnOnce(u64) -> T + Send>,
+}
+
+/// The result of one job, tagged with its label and derived seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchEntry<T> {
+    /// The job's label.
+    pub label: String,
+    /// The seed the job ran with.
+    pub seed: u64,
+    /// What the job returned.
+    pub value: T,
+}
+
+/// A batch of labelled jobs executed on a worker pool.
+///
+/// Generic over the job output so experiment drivers can return enriched
+/// results (e.g. a summary plus a scalar impact extracted while the engine
+/// is still alive); [`Batch<RunSummary>::run_report`] is the common case.
+///
+/// # Examples
+///
+/// ```
+/// use platoon_sim::harness::Batch;
+/// use platoon_sim::prelude::*;
+///
+/// let mut batch = Batch::new(2021);
+/// for n in [3usize, 4] {
+///     batch.push(format!("grid/{n}"), move |seed| {
+///         let s = Scenario::builder()
+///             .label(format!("grid/{n}"))
+///             .vehicles(n)
+///             .duration(5.0)
+///             .seed(seed)
+///             .build();
+///         Engine::new(s).run()
+///     });
+/// }
+/// let report = batch.run_report(2);
+/// assert_eq!(report.entries.len(), 2);
+/// assert_eq!(report.entries[0].label, "grid/3");
+/// ```
+pub struct Batch<T> {
+    base_seed: u64,
+    jobs: Vec<BatchJob<T>>,
+}
+
+impl<T: Send> Batch<T> {
+    /// Creates an empty batch with the given base seed.
+    pub fn new(base_seed: u64) -> Self {
+        Batch {
+            base_seed,
+            jobs: Vec::new(),
+        }
+    }
+
+    /// The batch base seed.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Number of queued jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the batch has no jobs.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Queues one job; its seed will be `derive_seed(label, base_seed)`.
+    pub fn push(&mut self, label: impl Into<String>, run: impl FnOnce(u64) -> T + Send + 'static) {
+        self.jobs.push(BatchJob {
+            label: label.into(),
+            seed: None,
+            run: Box::new(run),
+        });
+    }
+
+    /// Queues one job with a pinned seed instead of label derivation. The
+    /// pinned seed is recorded in the entry (and any golden built from it),
+    /// so reports stay honest about what actually ran.
+    pub fn push_with_seed(
+        &mut self,
+        label: impl Into<String>,
+        seed: u64,
+        run: impl FnOnce(u64) -> T + Send + 'static,
+    ) {
+        self.jobs.push(BatchJob {
+            label: label.into(),
+            seed: Some(seed),
+            run: Box::new(run),
+        });
+    }
+
+    /// Executes every job across `workers` threads and returns the entries
+    /// in *submission order* (never completion order).
+    ///
+    /// Work is handed out through an atomic cursor; each worker pops the
+    /// next unclaimed job, runs it with its derived seed, and sends the
+    /// result back tagged with its slot index. Because the seed depends only
+    /// on `(label, base_seed)` and results are re-slotted by index, the
+    /// returned vector is identical for any `workers >= 1`.
+    pub fn run(self, workers: usize) -> Vec<BatchEntry<T>> {
+        let base_seed = self.base_seed;
+        let n = self.jobs.len();
+        let jobs: Vec<Mutex<Option<BatchJob<T>>>> =
+            self.jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, BatchEntry<T>)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers.max(1).min(n.max(1)) {
+                let tx = tx.clone();
+                let jobs = &jobs;
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let job = jobs[i]
+                        .lock()
+                        .expect("job slot poisoned")
+                        .take()
+                        .expect("job claimed twice");
+                    let seed = job.seed.unwrap_or_else(|| derive_seed(&job.label, base_seed));
+                    let value = (job.run)(seed);
+                    let entry = BatchEntry {
+                        label: job.label,
+                        seed,
+                        value,
+                    };
+                    if tx.send((i, entry)).is_err() {
+                        break;
+                    }
+                });
+            }
+        });
+        drop(tx);
+
+        let mut slots: Vec<Option<BatchEntry<T>>> = (0..n).map(|_| None).collect();
+        for (i, entry) in rx {
+            slots[i] = Some(entry);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job reports exactly once"))
+            .collect()
+    }
+}
+
+impl Batch<RunSummary> {
+    /// Convenience: queues a plain scenario run. The scenario's own seed is
+    /// *replaced* by the derived seed, and its label becomes the job label.
+    pub fn push_scenario(&mut self, scenario: crate::scenario::Scenario) {
+        let label = scenario.label.clone();
+        self.push(label, move |seed| {
+            let mut scenario = scenario;
+            scenario.seed = seed;
+            crate::engine::Engine::new(scenario).run()
+        });
+    }
+
+    /// Runs the batch and wraps the summaries in a [`BatchReport`].
+    pub fn run_report(self, workers: usize) -> BatchReport {
+        let base_seed = self.base_seed;
+        BatchReport {
+            base_seed,
+            entries: self.run(workers),
+        }
+    }
+}
+
+/// A completed batch of [`RunSummary`]s in submission order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchReport {
+    /// The batch base seed the per-job seeds were derived from.
+    pub base_seed: u64,
+    /// One entry per job, in submission order.
+    pub entries: Vec<BatchEntry<RunSummary>>,
+}
+
+impl BatchReport {
+    /// Looks an entry up by label.
+    pub fn entry(&self, label: &str) -> Option<&BatchEntry<RunSummary>> {
+        self.entries.iter().find(|e| e.label == label)
+    }
+
+    /// The summary for a label, panicking with the label when missing.
+    pub fn summary(&self, label: &str) -> &RunSummary {
+        &self
+            .entry(label)
+            .unwrap_or_else(|| panic!("no batch entry labelled {label:?}"))
+            .value
+    }
+
+    /// Renders the report as canonical JSON: fixed field order, `{:?}`
+    /// (shortest round-trip) float formatting, non-finite floats as the
+    /// strings `"inf"` / `"-inf"` / `"nan"`, two-space indentation. Byte
+    /// stable for identical inputs, which is what the golden suite and the
+    /// worker-count determinism guarantee rest on.
+    pub fn to_canonical_json(&self) -> String {
+        let mut w = json::Writer::new();
+        w.obj(|w| {
+            w.field_u64("base_seed", self.base_seed);
+            w.field_arr("entries", |w| {
+                for e in &self.entries {
+                    w.elem(|w| {
+                        w.obj(|w| {
+                            w.field_str("label", &e.label);
+                            w.field_u64("seed", e.seed);
+                            w.field_obj("summary", |w| write_summary(w, &e.value));
+                        })
+                    });
+                }
+            });
+        });
+        w.finish()
+    }
+}
+
+/// Canonical field-by-field rendering of a [`RunSummary`].
+fn write_summary(w: &mut json::Writer, s: &RunSummary) {
+    w.field_str("label", &s.label);
+    w.field_f64("duration", s.duration);
+    w.field_u64("vehicles", s.vehicles as u64);
+    w.field_f64("max_spacing_error", s.max_spacing_error);
+    w.field_f64("mean_abs_spacing_error", s.mean_abs_spacing_error);
+    w.field_f64("oscillation_energy", s.oscillation_energy);
+    w.field_f64("worst_amplification", s.worst_amplification);
+    w.field_bool("string_stable", s.string_stable);
+    w.field_u64("collisions", s.collisions as u64);
+    w.field_f64("min_gap", s.min_gap);
+    w.field_f64("min_ttc", s.min_ttc);
+    w.field_f64("fuel_l_per_100km", s.fuel_l_per_100km);
+    w.field_f64("leader_tail_pdr", s.leader_tail_pdr);
+    w.field_f64("tail_leader_age_mean", s.tail_leader_age_mean);
+    w.field_f64("fragmented_fraction", s.fragmented_fraction);
+    w.field_f64("service_down_fraction", s.service_down_fraction);
+    w.field_obj("maneuvers", |w| {
+        let m = &s.maneuvers;
+        w.field_u64("join_requests", m.join_requests);
+        w.field_u64("joins_accepted", m.joins_accepted);
+        w.field_u64("joins_denied", m.joins_denied);
+        w.field_u64("joins_dropped", m.joins_dropped);
+        w.field_u64("joins_completed", m.joins_completed);
+        w.field_u64("joins_timed_out", m.joins_timed_out);
+        w.field_u64("leaves", m.leaves);
+        w.field_u64("splits", m.splits);
+        w.field_f64("wasted_gap_seconds", m.wasted_gap_seconds);
+    });
+    w.field_u64("rejected_messages", s.rejected_messages as u64);
+    w.field_u64("detections", s.detections as u64);
+}
+
+pub mod json {
+    //! A canonical JSON writer and a minimal parser.
+    //!
+    //! The writer produces deterministic output (explicit field order,
+    //! shortest-round-trip floats, non-finite floats as strings). The parser
+    //! accepts exactly the documents the writer emits plus ordinary
+    //! hand-edited JSON — enough to load goldens back for a tolerance-aware
+    //! diff without an external dependency.
+
+    /// A parsed JSON value.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number (parsed as `f64`; also covers `"inf"`-style strings on
+        /// the comparison path, see [`Value::as_f64`]).
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, preserving insertion order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Member lookup on objects.
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// Numeric view: numbers verbatim, plus the writer's non-finite
+        /// encodings (`"inf"`, `"-inf"`, `"nan"`).
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::Num(x) => Some(*x),
+                Value::Str(s) => match s.as_str() {
+                    "inf" => Some(f64::INFINITY),
+                    "-inf" => Some(f64::NEG_INFINITY),
+                    "nan" => Some(f64::NAN),
+                    _ => None,
+                },
+                _ => None,
+            }
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(b: &[u8], pos: &mut usize) {
+        while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        }
+    }
+
+    fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+        if *pos < b.len() && b[*pos] == c {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {pos}", c as char))
+        }
+    }
+
+    fn parse_value(b: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            None => Err("unexpected end of input".into()),
+            Some(b'{') => {
+                *pos += 1;
+                let mut fields = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b'}') {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                loop {
+                    skip_ws(b, pos);
+                    let key = match parse_value(b, pos)? {
+                        Value::Str(s) => s,
+                        other => return Err(format!("object key must be a string, got {other:?}")),
+                    };
+                    skip_ws(b, pos);
+                    expect(b, pos, b':')?;
+                    let value = parse_value(b, pos)?;
+                    fields.push((key, value));
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b'}') => {
+                            *pos += 1;
+                            return Ok(Value::Obj(fields));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *pos += 1;
+                let mut items = Vec::new();
+                skip_ws(b, pos);
+                if b.get(*pos) == Some(&b']') {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                loop {
+                    items.push(parse_value(b, pos)?);
+                    skip_ws(b, pos);
+                    match b.get(*pos) {
+                        Some(b',') => *pos += 1,
+                        Some(b']') => {
+                            *pos += 1;
+                            return Ok(Value::Arr(items));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                *pos += 1;
+                let mut s = String::new();
+                loop {
+                    match b.get(*pos) {
+                        None => return Err("unterminated string".into()),
+                        Some(b'"') => {
+                            *pos += 1;
+                            return Ok(Value::Str(s));
+                        }
+                        Some(b'\\') => {
+                            *pos += 1;
+                            match b.get(*pos) {
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                Some(b'/') => s.push('/'),
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'r') => s.push('\r'),
+                                Some(b'u') => {
+                                    let hex = b
+                                        .get(*pos + 1..*pos + 5)
+                                        .ok_or("truncated \\u escape")?;
+                                    let code = u32::from_str_radix(
+                                        std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                        16,
+                                    )
+                                    .map_err(|e| e.to_string())?;
+                                    s.push(
+                                        char::from_u32(code).ok_or("invalid \\u code point")?,
+                                    );
+                                    *pos += 4;
+                                }
+                                other => return Err(format!("bad escape {other:?}")),
+                            }
+                            *pos += 1;
+                        }
+                        Some(_) => {
+                            // Consume one UTF-8 scalar (multi-byte safe).
+                            let rest = std::str::from_utf8(&b[*pos..])
+                                .map_err(|e| e.to_string())?;
+                            let c = rest.chars().next().expect("non-empty");
+                            s.push(c);
+                            *pos += c.len_utf8();
+                        }
+                    }
+                }
+            }
+            Some(b't') if b[*pos..].starts_with(b"true") => {
+                *pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*pos..].starts_with(b"false") => {
+                *pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*pos..].starts_with(b"null") => {
+                *pos += 4;
+                Ok(Value::Null)
+            }
+            Some(_) => {
+                let start = *pos;
+                while *pos < b.len()
+                    && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+                {
+                    *pos += 1;
+                }
+                let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+                text.parse::<f64>()
+                    .map(Value::Num)
+                    .map_err(|_| format!("bad number {text:?} at byte {start}"))
+            }
+        }
+    }
+
+    /// Canonical pretty-printing JSON writer (two-space indent, fixed field
+    /// order, `{:?}` floats, non-finite floats as strings).
+    pub struct Writer {
+        out: String,
+        indent: usize,
+        /// Whether the current container already has a member (comma logic).
+        needs_comma: Vec<bool>,
+    }
+
+    impl Default for Writer {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Writer {
+        /// Creates an empty writer.
+        pub fn new() -> Self {
+            Writer {
+                out: String::new(),
+                indent: 0,
+                needs_comma: Vec::new(),
+            }
+        }
+
+        /// Finishes, returning the document with a trailing newline.
+        pub fn finish(mut self) -> String {
+            self.out.push('\n');
+            self.out
+        }
+
+        fn newline_item(&mut self) {
+            if let Some(last) = self.needs_comma.last_mut() {
+                if *last {
+                    self.out.push(',');
+                }
+                *last = true;
+            }
+            if !self.needs_comma.is_empty() {
+                self.out.push('\n');
+                for _ in 0..self.indent {
+                    self.out.push_str("  ");
+                }
+            }
+        }
+
+        fn open(&mut self, c: char) {
+            self.out.push(c);
+            self.indent += 1;
+            self.needs_comma.push(false);
+        }
+
+        fn close(&mut self, c: char) {
+            let had_items = self.needs_comma.pop().unwrap_or(false);
+            self.indent -= 1;
+            if had_items {
+                self.out.push('\n');
+                for _ in 0..self.indent {
+                    self.out.push_str("  ");
+                }
+            }
+            self.out.push(c);
+        }
+
+        /// Writes an object via the callback.
+        pub fn obj(&mut self, f: impl FnOnce(&mut Writer)) {
+            self.open('{');
+            f(self);
+            self.close('}');
+        }
+
+        fn key(&mut self, name: &str) {
+            self.newline_item();
+            self.push_string(name);
+            self.out.push_str(": ");
+        }
+
+        /// Writes a string field.
+        pub fn field_str(&mut self, name: &str, value: &str) {
+            self.key(name);
+            self.push_string(value);
+        }
+
+        /// Writes an unsigned integer field.
+        pub fn field_u64(&mut self, name: &str, value: u64) {
+            self.key(name);
+            self.out.push_str(&value.to_string());
+        }
+
+        /// Writes a boolean field.
+        pub fn field_bool(&mut self, name: &str, value: bool) {
+            self.key(name);
+            self.out.push_str(if value { "true" } else { "false" });
+        }
+
+        /// Writes a float field: `{:?}` for finite values (shortest string
+        /// that round-trips), `"inf"` / `"-inf"` / `"nan"` otherwise.
+        pub fn field_f64(&mut self, name: &str, value: f64) {
+            self.key(name);
+            self.push_f64(value);
+        }
+
+        /// Writes a float array element.
+        pub fn push_f64(&mut self, value: f64) {
+            if value.is_finite() {
+                self.out.push_str(&format!("{value:?}"));
+            } else if value.is_nan() {
+                self.out.push_str("\"nan\"");
+            } else if value > 0.0 {
+                self.out.push_str("\"inf\"");
+            } else {
+                self.out.push_str("\"-inf\"");
+            }
+        }
+
+        /// Writes a nested object field.
+        pub fn field_obj(&mut self, name: &str, f: impl FnOnce(&mut Writer)) {
+            self.key(name);
+            self.obj(f);
+        }
+
+        /// Writes an array field; use [`Writer::elem`] inside the callback.
+        pub fn field_arr(&mut self, name: &str, f: impl FnOnce(&mut Writer)) {
+            self.key(name);
+            self.open('[');
+            f(self);
+            self.close(']');
+        }
+
+        /// Writes one array element via the callback.
+        pub fn elem(&mut self, f: impl FnOnce(&mut Writer)) {
+            self.newline_item();
+            // The callback writes the value itself (object, field, …) —
+            // suppress its own comma/newline logic for the first token.
+            let depth = self.needs_comma.len();
+            f(self);
+            debug_assert_eq!(depth, self.needs_comma.len(), "unbalanced elem callback");
+        }
+
+        fn push_string(&mut self, s: &str) {
+            self.out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => self.out.push_str("\\\""),
+                    '\\' => self.out.push_str("\\\\"),
+                    '\n' => self.out.push_str("\\n"),
+                    '\t' => self.out.push_str("\\t"),
+                    '\r' => self.out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => {
+                        self.out.push_str(&format!("\\u{:04x}", c as u32))
+                    }
+                    c => self.out.push(c),
+                }
+            }
+            self.out.push('"');
+        }
+    }
+}
+
+pub mod golden {
+    //! Golden-snapshot comparison with explicit tolerances.
+    //!
+    //! `check` compares a canonical JSON document against a committed golden
+    //! file. On mismatch it fails with one line per differing path; setting
+    //! `UPDATE_GOLDEN=1` rewrites the golden instead and passes.
+
+    use super::json::{self, Value};
+    use std::path::Path;
+
+    /// Float comparison policy. A numeric pair passes when
+    /// `|a - g| <= abs_tol + rel_tol * |g|`; non-finite values must match
+    /// exactly (by bit class).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Tolerance {
+        /// Absolute tolerance.
+        pub abs_tol: f64,
+        /// Relative tolerance (scaled by the golden value's magnitude).
+        pub rel_tol: f64,
+    }
+
+    impl Tolerance {
+        /// Exact comparison (still accepts `-0.0 == 0.0`).
+        pub fn exact() -> Self {
+            Tolerance {
+                abs_tol: 0.0,
+                rel_tol: 0.0,
+            }
+        }
+
+        /// The default snapshot policy: tight enough that any behavioural
+        /// change trips it, loose enough to absorb last-digit formatting
+        /// churn across toolchains.
+        pub fn snapshot() -> Self {
+            Tolerance {
+                abs_tol: 1e-9,
+                rel_tol: 1e-9,
+            }
+        }
+
+        fn accepts(&self, golden: f64, actual: f64) -> bool {
+            if golden.is_nan() {
+                return actual.is_nan();
+            }
+            if golden.is_infinite() || actual.is_infinite() {
+                return golden == actual;
+            }
+            (actual - golden).abs() <= self.abs_tol + self.rel_tol * golden.abs()
+        }
+    }
+
+    /// The outcome of a golden comparison.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum Outcome {
+        /// The document matches the golden within tolerance.
+        Match,
+        /// `UPDATE_GOLDEN=1`: the golden file was (re)written.
+        Updated,
+    }
+
+    /// Whether the environment requests a golden refresh.
+    pub fn update_requested() -> bool {
+        std::env::var("UPDATE_GOLDEN").is_ok_and(|v| !v.is_empty() && v != "0")
+    }
+
+    /// Compares `actual_json` against the golden at `path`.
+    ///
+    /// * Golden missing or `UPDATE_GOLDEN=1` → writes the file, returns
+    ///   [`Outcome::Updated`].
+    /// * Match within `tol` → [`Outcome::Match`].
+    /// * Mismatch → `Err` with a readable per-path diff, plus the refresh
+    ///   instructions.
+    pub fn check(path: &Path, actual_json: &str, tol: Tolerance) -> Result<Outcome, String> {
+        if update_requested() || !path.exists() {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+            }
+            std::fs::write(path, actual_json)
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            return Ok(Outcome::Updated);
+        }
+        let golden_text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let golden = json::parse(&golden_text)
+            .map_err(|e| format!("golden {} is not valid JSON: {e}", path.display()))?;
+        let actual = json::parse(actual_json)
+            .map_err(|e| format!("actual document is not valid JSON: {e}"))?;
+
+        let mut diffs = Vec::new();
+        diff_values("$", &golden, &actual, tol, &mut diffs);
+        if diffs.is_empty() {
+            return Ok(Outcome::Match);
+        }
+        let shown = diffs.iter().take(25).cloned().collect::<Vec<_>>().join("\n  ");
+        let more = if diffs.len() > 25 {
+            format!("\n  … and {} more differences", diffs.len() - 25)
+        } else {
+            String::new()
+        };
+        Err(format!(
+            "golden mismatch against {} ({} difference{}):\n  {shown}{more}\n\
+             If the behaviour change is intended, refresh with:\n  \
+             UPDATE_GOLDEN=1 cargo test",
+            path.display(),
+            diffs.len(),
+            if diffs.len() == 1 { "" } else { "s" },
+        ))
+    }
+
+    /// Convenience for tests: panics with the diff on mismatch.
+    pub fn assert_matches(path: &Path, actual_json: &str, tol: Tolerance) {
+        match check(path, actual_json, tol) {
+            Ok(_) => {}
+            Err(diff) => panic!("{diff}"),
+        }
+    }
+
+    fn diff_values(path: &str, golden: &Value, actual: &Value, tol: Tolerance, out: &mut Vec<String>) {
+        // Numbers (including the non-finite string encodings) compare with
+        // tolerance; everything else structurally.
+        if let (Some(g), Some(a)) = (golden.as_f64(), actual.as_f64()) {
+            if !tol.accepts(g, a) {
+                out.push(format!("{path}: golden {g:?} vs actual {a:?}"));
+            }
+            return;
+        }
+        match (golden, actual) {
+            (Value::Obj(g), Value::Obj(a)) => {
+                for (k, gv) in g {
+                    match actual.get(k) {
+                        Some(av) => diff_values(&format!("{path}.{k}"), gv, av, tol, out),
+                        None => out.push(format!("{path}.{k}: missing from actual")),
+                    }
+                }
+                for (k, _) in a {
+                    if golden.get(k).is_none() {
+                        out.push(format!("{path}.{k}: not in golden"));
+                    }
+                }
+            }
+            (Value::Arr(g), Value::Arr(a)) => {
+                if g.len() != a.len() {
+                    out.push(format!(
+                        "{path}: array length golden {} vs actual {}",
+                        g.len(),
+                        a.len()
+                    ));
+                }
+                for (i, (gv, av)) in g.iter().zip(a.iter()).enumerate() {
+                    diff_values(&format!("{path}[{i}]"), gv, av, tol, out);
+                }
+            }
+            (g, a) if g == a => {}
+            (g, a) => out.push(format!("{path}: golden {g:?} vs actual {a:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::golden::Tolerance;
+    use super::json::Value;
+    use super::*;
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn derived_seeds_are_stable_and_label_sensitive() {
+        let a = derive_seed("grid/cacc/none", 2021);
+        assert_eq!(a, derive_seed("grid/cacc/none", 2021), "pure function");
+        assert_ne!(a, derive_seed("grid/cacc/keys", 2021), "label matters");
+        assert_ne!(a, derive_seed("grid/cacc/none", 2022), "base seed matters");
+    }
+
+    #[test]
+    fn batch_preserves_submission_order_under_contention() {
+        let mut batch: Batch<usize> = Batch::new(0);
+        for i in 0..32usize {
+            // Reverse sleep: late submissions finish first.
+            batch.push(format!("job/{i}"), move |_seed| {
+                std::thread::sleep(std::time::Duration::from_micros((32 - i) as u64 * 50));
+                i
+            });
+        }
+        let entries = batch.run(8);
+        let order: Vec<usize> = entries.iter().map(|e| e.value).collect();
+        assert_eq!(order, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let build = || {
+            let mut batch = Batch::new(7);
+            for n in [2usize, 3, 4] {
+                batch.push_scenario(
+                    Scenario::builder()
+                        .label(format!("det/{n}"))
+                        .vehicles(n)
+                        .duration(3.0)
+                        .build(),
+                );
+            }
+            batch
+        };
+        let one = build().run_report(1).to_canonical_json();
+        let many = build().run_report(4).to_canonical_json();
+        assert_eq!(one, many, "harness output must be scheduling-independent");
+    }
+
+    #[test]
+    fn canonical_json_round_trips_through_the_parser() {
+        let mut batch = Batch::new(11);
+        batch.push_scenario(
+            Scenario::builder()
+                .label("rt")
+                .vehicles(3)
+                .duration(2.0)
+                .build(),
+        );
+        let report = batch.run_report(2);
+        let text = report.to_canonical_json();
+        let value = json::parse(&text).expect("writer output parses");
+        let entries = value.get("entries").expect("entries field");
+        let Value::Arr(items) = entries else {
+            panic!("entries is an array")
+        };
+        let summary = items[0].get("summary").expect("summary");
+        assert_eq!(
+            summary.get("vehicles"),
+            Some(&Value::Num(3.0)),
+            "field survives the round trip"
+        );
+        // min_ttc can legitimately be ∞ — ensure the encoding round-trips.
+        let ttc = summary.get("min_ttc").expect("min_ttc").as_f64().unwrap();
+        assert!(ttc > 0.0);
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_strings() {
+        let mut w = json::Writer::new();
+        w.obj(|w| {
+            w.field_f64("inf", f64::INFINITY);
+            w.field_f64("ninf", f64::NEG_INFINITY);
+            w.field_f64("nan", f64::NAN);
+        });
+        let text = w.finish();
+        let v = json::parse(&text).unwrap();
+        assert_eq!(v.get("inf").unwrap().as_f64(), Some(f64::INFINITY));
+        assert_eq!(v.get("ninf").unwrap().as_f64(), Some(f64::NEG_INFINITY));
+        assert!(v.get("nan").unwrap().as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn golden_check_updates_then_matches_then_diffs() {
+        let dir = std::env::temp_dir().join(format!(
+            "platoon-golden-test-{}-{:x}",
+            std::process::id(),
+            derive_seed("golden-test", 1)
+        ));
+        let path = dir.join("sample.json");
+        let doc_a = "{\n  \"x\": 1.5,\n  \"y\": \"inf\"\n}\n";
+        let doc_b = "{\n  \"x\": 1.75,\n  \"y\": \"inf\"\n}\n";
+
+        // First contact writes the golden.
+        assert_eq!(
+            golden::check(&path, doc_a, Tolerance::snapshot()).unwrap(),
+            golden::Outcome::Updated
+        );
+        // Same document matches.
+        assert_eq!(
+            golden::check(&path, doc_a, Tolerance::snapshot()).unwrap(),
+            golden::Outcome::Match
+        );
+        // A drifted value fails with the path in the message.
+        let err = golden::check(&path, doc_b, Tolerance::snapshot()).unwrap_err();
+        assert!(err.contains("$.x"), "diff names the path: {err}");
+        assert!(err.contains("UPDATE_GOLDEN=1"), "refresh hint: {err}");
+        // A loose tolerance accepts the same drift.
+        assert_eq!(
+            golden::check(
+                &path,
+                doc_b,
+                Tolerance {
+                    abs_tol: 0.5,
+                    rel_tol: 0.0
+                }
+            )
+            .unwrap(),
+            golden::Outcome::Match
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in ["{", "[1,", "{\"a\" 1}", "tru", "\"open", "{\"a\":1}x"] {
+            assert!(json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

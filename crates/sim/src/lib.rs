@@ -41,6 +41,7 @@ pub mod attack;
 pub mod defense;
 pub mod engine;
 pub mod events;
+pub mod harness;
 pub mod metrics;
 pub mod scenario;
 pub mod world;
@@ -52,6 +53,7 @@ pub mod prelude {
     pub use crate::defense::{Defense, DetectionEvent, NoDefense, RejectReason};
     pub use crate::engine::Engine;
     pub use crate::events::{Event, EventLog, LoggedEvent};
+    pub use crate::harness::{derive_seed, Batch, BatchEntry, BatchJob, BatchReport};
     pub use crate::metrics::{MetricsCollector, RunSummary};
     pub use crate::scenario::{AuthMode, CommsMode, ControllerKind, Scenario, ScenarioBuilder};
     pub use crate::world::{

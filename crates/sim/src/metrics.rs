@@ -79,7 +79,7 @@ impl MetricsCollector {
 }
 
 /// Summary of a completed run — the unit the experiment harness tabulates.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
     /// Scenario label.
     pub label: String,
@@ -169,10 +169,78 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_run_has_no_division_artifacts() {
+        // A run that never advances time: every derived quantity must come
+        // out finite (availability fractions, stability, safety), never NaN
+        // from a 0/0.
+        let mut c = MetricsCollector::new(4, 0.1);
+        // Zero-length steps still count as observations of zero duration.
+        c.record_step_state(0.0, true, true);
+        c.record_step_state(0.0, false, true);
+        assert_eq!(c.fragmented_fraction(), 0.0);
+        assert_eq!(c.service_down_fraction(), 0.0);
+        assert!(c.fragmented_fraction().is_finite());
+        assert!(c.service_down_fraction().is_finite());
+
+        let r = c.stability();
+        assert!(r.total_energy.is_finite());
+        assert!(r.worst_amplification().is_finite());
+        assert!(r.is_string_stable(0.05), "empty errors are trivially stable");
+        assert_eq!(c.safety.collision_count(), 0);
+        assert_eq!(c.links.mean_latency(), 0.0, "no samples, no 0/0");
+    }
+
+    #[test]
     fn single_vehicle_collector_degenerate() {
+        // One vehicle: no follower, hence no spacing series, no gaps and a
+        // trivially stable report — but speeds are still tracked.
         let c = MetricsCollector::new(1, 0.1);
         assert!(c.spacing_errors.is_empty());
+        assert_eq!(c.speeds.len(), 1);
         let r = c.stability();
         assert!(r.is_string_stable(0.0));
+        assert!(r.linf_errors.is_empty());
+        assert!(r.linf_amplification.is_empty());
+        assert_eq!(r.total_energy, 0.0);
+        assert!(c.safety.is_collision_free());
+    }
+
+    #[test]
+    fn zero_vehicle_collector_does_not_underflow() {
+        // `n = 0` exercises the saturating_sub paths.
+        let c = MetricsCollector::new(0, 0.1);
+        assert!(c.spacing_errors.is_empty());
+        assert!(c.speeds.is_empty());
+        assert!(c.stability().is_string_stable(0.0));
+    }
+
+    #[test]
+    fn one_line_render_tolerates_non_finite_gaps() {
+        // A run with no closing pair leaves min_gap/min_ttc at +∞; the
+        // console rendering must not panic or print garbage widths.
+        let s = RunSummary {
+            label: "degenerate".into(),
+            duration: 0.0,
+            vehicles: 1,
+            max_spacing_error: 0.0,
+            oscillation_energy: 0.0,
+            worst_amplification: 0.0,
+            string_stable: true,
+            collisions: 0,
+            min_gap: f64::INFINITY,
+            min_ttc: f64::INFINITY,
+            fuel_l_per_100km: 0.0,
+            leader_tail_pdr: 0.0,
+            tail_leader_age_mean: 0.0,
+            fragmented_fraction: 0.0,
+            service_down_fraction: 0.0,
+            maneuvers: Default::default(),
+            rejected_messages: 0,
+            detections: 0,
+            mean_abs_spacing_error: 0.0,
+        };
+        let line = s.one_line();
+        assert!(line.contains("degenerate"));
+        assert!(line.contains("NaN"), "infinite gap renders as NaN marker");
     }
 }

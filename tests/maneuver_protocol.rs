@@ -88,7 +88,7 @@ fn member_leave_request_is_processed() {
     use platoon_security::proto::messages::PlatoonMessage;
     use platoon_security::sim::attack::{Attack, SecurityAttribute};
     use platoon_security::sim::world::World;
-    use platoon_security::v2x::message::{ChannelKind, Frame, NodeId};
+    use platoon_security::v2x::message::{ChannelKind, Frame};
     use rand::rngs::StdRng;
     use std::any::Any;
 

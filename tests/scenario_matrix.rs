@@ -1,13 +1,21 @@
-//! Integration: the scenario configuration grid.
+//! Integration: the scenario configuration grid, run through the parallel
+//! experiment harness and pinned by a golden summary snapshot.
 //!
 //! Every combination of controller family, key deployment and channel
 //! deployment must produce a functioning platoon — the engine may not have
-//! hidden coupling between those axes.
+//! hidden coupling between those axes. The 48-cell grid runs across the
+//! harness worker pool (per-cell seeds derived from the cell label, so the
+//! report is scheduling-independent) and the resulting [`BatchReport`] is
+//! asserted against `tests/golden/scenario_matrix.json`. Refresh the golden
+//! after an intended behaviour change with `UPDATE_GOLDEN=1 cargo test`.
 
 use platoon_security::prelude::*;
+use platoon_sim::harness::golden::{self, Tolerance};
+use std::path::Path;
 
-#[test]
-fn controller_auth_comms_grid_is_sound() {
+const GRID_BASE_SEED: u64 = 99;
+
+fn grid_batch() -> Batch<RunSummary> {
     let controllers = [
         ControllerKind::Acc,
         ControllerKind::Cacc,
@@ -26,44 +34,73 @@ fn controller_auth_comms_grid_is_sound() {
         CommsMode::HybridCv2x,
     ];
 
+    let mut batch = Batch::new(GRID_BASE_SEED);
     for controller in controllers {
         for auth in auths {
             for comm in comms {
-                let scenario = Scenario::builder()
-                    .label(format!("{controller:?}/{auth:?}/{comm:?}"))
-                    .vehicles(4)
-                    .controller(controller)
-                    .auth(auth)
-                    .comms(comm)
-                    .duration(15.0)
-                    .seed(99)
-                    .build();
-                let s = Engine::new(scenario).run();
-                assert_eq!(s.collisions, 0, "{controller:?}/{auth:?}/{comm:?} crashed");
-                assert_eq!(
-                    s.rejected_messages, 0,
-                    "{controller:?}/{auth:?}/{comm:?} rejected honest traffic"
-                );
-                assert!(
-                    s.min_gap > 0.5,
-                    "{controller:?}/{auth:?}/{comm:?} unsafe gap {}",
-                    s.min_gap
+                batch.push_scenario(
+                    Scenario::builder()
+                        .label(format!("{controller:?}/{auth:?}/{comm:?}"))
+                        .vehicles(4)
+                        .controller(controller)
+                        .auth(auth)
+                        .comms(comm)
+                        .duration(15.0)
+                        .build(),
                 );
             }
         }
     }
+    batch
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+#[test]
+fn controller_auth_comms_grid_is_sound() {
+    let report = grid_batch().run_report(4);
+    assert_eq!(report.entries.len(), 48, "4 controllers × 4 auths × 3 comms");
+
+    // Semantic invariants per cell, independent of the snapshot.
+    for entry in &report.entries {
+        let s = &entry.value;
+        assert_eq!(s.collisions, 0, "{} crashed", entry.label);
+        assert_eq!(
+            s.rejected_messages, 0,
+            "{} rejected honest traffic",
+            entry.label
+        );
+        assert!(s.min_gap > 0.5, "{} unsafe gap {}", entry.label, s.min_gap);
+    }
+
+    // Snapshot regression: every metric of every cell is pinned.
+    golden::assert_matches(
+        &golden_path("scenario_matrix.json"),
+        &report.to_canonical_json(),
+        Tolerance::snapshot(),
+    );
 }
 
 #[test]
 fn platoon_size_scales() {
+    let mut batch = Batch::new(5);
     for n in [2usize, 4, 8, 12, 16] {
-        let scenario = Scenario::builder()
-            .vehicles(n)
-            .max_platoon_size(n.max(16))
-            .duration(20.0)
-            .seed(5)
-            .build();
-        let s = Engine::new(scenario).run();
+        batch.push_scenario(
+            Scenario::builder()
+                .label(format!("size/{n}"))
+                .vehicles(n)
+                .max_platoon_size(n.max(16))
+                .duration(20.0)
+                .build(),
+        );
+    }
+    let report = batch.run_report(4);
+    for (n, entry) in [2usize, 4, 8, 12, 16].into_iter().zip(&report.entries) {
+        let s = &entry.value;
         assert_eq!(s.collisions, 0, "size {n} crashed");
         // Long strings accumulate sensor/channel noise; accept either the
         // strict amplification criterion or tightly-bounded absolute errors.

@@ -1,0 +1,199 @@
+//! Offline vendored stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Implements the subset of the API this workspace's benches use —
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups,
+//! `bench_function`, `iter`, `iter_batched` and `sample_size` — with a
+//! plain wall-clock measurement loop: a warm-up pass, then `sample_size`
+//! timed samples, reporting min/mean/max per benchmark. No statistical
+//! analysis, plots or saved baselines; the goal is a working
+//! `cargo bench` in an offline build, not publication-grade numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost (accepted for API parity; the
+/// stand-in always re-runs setup per iteration, outside the timed span).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup {name}");
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Runs a stand-alone benchmark (group of one).
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let n = self.sample_size;
+        self.benchmark_group("default").sample_size(n).run(name, f);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times one benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let n = self.sample_size;
+        self.run_with(name, f, n);
+        self
+    }
+
+    fn run(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let n = self.sample_size;
+        self.run_with(name, f, n);
+    }
+
+    fn run_with(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher), samples: usize) {
+        let name = name.into();
+        // Warm-up: one untimed pass.
+        let mut warm = Bencher { elapsed: Duration::ZERO };
+        f(&mut warm);
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let mut b = Bencher { elapsed: Duration::ZERO };
+            f(&mut b);
+            times.push(b.elapsed);
+        }
+        let min = times.iter().min().copied().unwrap_or_default();
+        let max = times.iter().max().copied().unwrap_or_default();
+        let mean = times.iter().sum::<Duration>() / samples as u32;
+        println!(
+            "  {name:<32} min {:>12} mean {:>12} max {:>12} ({samples} samples)",
+            fmt(min),
+            fmt(mean),
+            fmt(max)
+        );
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Passed to each benchmark closure; accumulates the timed span.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup` (setup is untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        self.elapsed += start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function, upstream-compatible.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_time() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_function("noop", |b| {
+            b.iter(|| black_box(1 + 1));
+            runs += 1;
+        });
+        g.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_consumes_setup() {
+        let mut b = Bencher {
+            elapsed: Duration::ZERO,
+        };
+        b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.elapsed >= Duration::ZERO);
+    }
+}

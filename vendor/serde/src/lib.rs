@@ -1,0 +1,53 @@
+//! Offline vendored stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment cannot reach crates.io, and this workspace only
+//! ever uses serde as *annotation* — `#[derive(Serialize, Deserialize)]`
+//! on config and report types — never through a real `Serializer`. This
+//! stand-in therefore provides:
+//!
+//! * marker traits [`Serialize`] / [`Deserialize`], blanket-implemented
+//!   for every type so `T: Serialize` bounds always hold;
+//! * re-exported no-op derive macros (so the annotation syntax, including
+//!   `#[serde(...)]` helper attributes, compiles unchanged).
+//!
+//! Canonical machine-readable output (the golden snapshot JSON) is
+//! produced by the hand-rolled writer in `platoon_sim::harness::json`,
+//! which guarantees byte-stable formatting — something derived serde +
+//! serde_json would not give us for free across versions anyway.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for serializable types (upstream: the serde data model's
+/// serialize half). Blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented for all types.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+#[cfg(test)]
+mod tests {
+    // Import exactly as downstream code does: trait and derive share the
+    // name but live in different namespaces.
+    use crate::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    #[serde(rename_all = "snake_case")]
+    struct Demo {
+        #[serde(default)]
+        x: f64,
+    }
+
+    fn takes_serialize<T: crate::Serialize>(_t: &T) {}
+
+    #[test]
+    fn derive_and_bounds_compile() {
+        let d = Demo { x: 1.0 };
+        takes_serialize(&d);
+        assert_eq!(d, Demo { x: 1.0 });
+    }
+}

@@ -1,0 +1,21 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! The real derive generates `Serialize`/`Deserialize` impls; the
+//! workspace's vendored `serde` instead blanket-implements both marker
+//! traits for every type, so these derives only need to *accept* the
+//! syntax — `#[derive(Serialize, Deserialize)]` and any `#[serde(...)]`
+//! helper attributes — and emit no code at all.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]`; the blanket impl in `serde` does the rest.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]`; the blanket impl in `serde` does the rest.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
