@@ -1,0 +1,101 @@
+//! Criterion benchmarks of the `platoon-detect` streaming pipeline: beacon
+//! ingest throughput for one detector bank (the per-vehicle on-board cost)
+//! and for a pool of banks spread across harness workers (the
+//! infrastructure-side cost of scoring a whole fleet's traffic).
+//!
+//! The synthetic stream interleaves honest cruising traffic from several
+//! senders with a low rate of misbehaving claims, so fusion tracks stay
+//! warm and the benchmark exercises the alert path, not just the happy
+//! path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use platoon_crypto::cert::PrincipalId;
+use platoon_detect::observation::BeaconObservation;
+use platoon_detect::pipeline::{Pipeline, PipelineConfig};
+use platoon_sim::harness::Batch;
+
+/// Beacons per generated stream (10 senders × 10 Hz × 60 simulated
+/// seconds: one minute of a 10-truck platoon's channel traffic).
+const STREAM_LEN: usize = 6_000;
+const SENDERS: u64 = 10;
+
+/// A deterministic one-minute channel trace; every 97th beacon teleports
+/// so evidence and fusion state stay exercised.
+fn stream() -> Vec<BeaconObservation> {
+    (0..STREAM_LEN)
+        .map(|i| {
+            let t = (i / SENDERS as usize) as f64 * 0.1;
+            let sender = PrincipalId(1 + (i as u64 % SENDERS));
+            let mut obs = BeaconObservation::plausible(t, sender, 0);
+            obs.claim.position += sender.0 as f64 * 30.0;
+            if i % 97 == 0 {
+                obs.claim.position += 400.0;
+            }
+            obs
+        })
+        .collect()
+}
+
+fn score(pipeline: &mut Pipeline, trace: &[BeaconObservation]) -> usize {
+    for obs in trace {
+        pipeline.observe_beacon(obs);
+    }
+    pipeline.take_alerts().len()
+}
+
+fn bench_single_thread(c: &mut Criterion) {
+    let trace = stream();
+    let mut g = c.benchmark_group("detect");
+    g.sample_size(20);
+    for (name, config) in [
+        (
+            "ingest_6k_beacons_default",
+            PipelineConfig::default_profile(),
+        ),
+        ("ingest_6k_beacons_strict", PipelineConfig::strict()),
+    ] {
+        let trace = trace.clone();
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || Pipeline::new(config.clone()),
+                |mut pipeline| score(&mut pipeline, &trace),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_pooled(c: &mut Criterion) {
+    let trace = stream();
+    let mut g = c.benchmark_group("detect-pooled");
+    g.sample_size(10);
+    // A fleet's worth of independent banks: 8 traces scored per iteration,
+    // once serially and once across the harness worker pool. The ratio is
+    // the parallel speedup of fleet-side scoring.
+    for (name, workers) in [("fleet_8x6k_1_worker", 1), ("fleet_8x6k_pooled", 0)] {
+        let trace = trace.clone();
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut batch: Batch<usize> = Batch::new(2021);
+                for i in 0..8 {
+                    let trace = trace.clone();
+                    batch.push(format!("bank/{i}"), move |_seed| {
+                        let mut pipeline = Pipeline::new(PipelineConfig::default_profile());
+                        score(&mut pipeline, &trace)
+                    });
+                }
+                let workers = if workers == 0 {
+                    platoon_sim::harness::default_workers()
+                } else {
+                    workers
+                };
+                batch.run(workers).iter().map(|e| e.value).sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_thread, bench_pooled);
+criterion_main!(benches);

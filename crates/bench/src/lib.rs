@@ -3,7 +3,7 @@
 //! The benchmark and report harness of the reproduction: regenerates every
 //! table and figure of Taylor et al. (DSN-W 2021) from the living code.
 //!
-//! * `cargo run -p platoon-bench --bin report` — prints Tables I–III, the
+//! * `cargo run -p platoon-bench --bin report` — prints Tables I–IV, the
 //!   risk assessment and figures F1–F10 at full effort (the EXPERIMENTS.md
 //!   source of truth). Pass `--quick` for a fast pass.
 //! * `cargo bench -p platoon-bench` — Criterion timing of the simulator,
@@ -12,7 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use platoon_core::experiments::{figures, table2, table3};
+use platoon_core::experiments::{figures, table2, table3, table4};
 use platoon_core::{risk, surveys};
 use platoon_sim::harness::{Batch, BatchReport};
 use platoon_sim::prelude::{AuthMode, ControllerKind, RunSummary, Scenario};
@@ -27,7 +27,11 @@ pub const BENCH_BASE_SEED: u64 = 77;
 /// the `harness` bench group) rely on when comparing timings.
 pub fn bench_batch() -> Batch<RunSummary> {
     let mut batch = Batch::new(BENCH_BASE_SEED);
-    for controller in [ControllerKind::Acc, ControllerKind::Cacc, ControllerKind::Ploeg] {
+    for controller in [
+        ControllerKind::Acc,
+        ControllerKind::Cacc,
+        ControllerKind::Ploeg,
+    ] {
         for auth in [AuthMode::None, AuthMode::Pki] {
             batch.push_scenario(
                 Scenario::builder()
@@ -58,6 +62,8 @@ pub fn full_report(quick: bool) -> String {
     out.push_str(&table2::render(&table2::run(quick)).render());
     out.push('\n');
     out.push_str(&table3::render(&table3::run(quick)).render());
+    out.push('\n');
+    out.push_str(&table4::render(&table4::run(quick)).render());
     out.push('\n');
     out.push_str(&risk::render_risk_table().render());
     out.push('\n');

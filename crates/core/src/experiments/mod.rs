@@ -11,6 +11,7 @@ pub mod figures;
 pub mod privacy;
 pub mod table2;
 pub mod table3;
+pub mod table4;
 
 use serde::Serialize;
 

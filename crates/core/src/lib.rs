@@ -9,7 +9,8 @@
 //!   matrix behind the paper's gap analysis.
 //! * [`risk`] — the ISO/SAE 21434-style TARA answering the paper's §VI-B.4
 //!   open challenge for the full attack catalogue.
-//! * [`experiments`] — T2/T3 (the measured Tables II and III) and F1–F10
+//! * [`experiments`] — T2/T3 (the measured Tables II and III), T4 (the
+//!   detection-quality table for the `platoon-detect` pipeline) and F1–F10
 //!   (the per-attack impact sweeps); see DESIGN.md §3 for the index.
 //! * [`tables`] — plain-text table rendering.
 //!
@@ -37,7 +38,7 @@ pub mod tables;
 /// Convenient glob-import of the crate's primary types.
 pub mod prelude {
     pub use crate::experiments::{
-        ablations, common::Effort, figures, privacy, table2, table3, Figure, Series,
+        ablations, common::Effort, figures, privacy, table2, table3, table4, Figure, Series,
     };
     pub use crate::risk::{
         assessment, render_risk_table, Feasibility, FeasibilityClass, Impact, RiskEntry, RiskLevel,

@@ -14,6 +14,7 @@
 //! victim unless paired with cryptographic sender authentication.
 
 use platoon_crypto::cert::PrincipalId;
+use platoon_detect::checks::{claim_faults, ClaimSnapshot, KinematicLimits};
 use platoon_proto::envelope::Envelope;
 use platoon_proto::messages::PlatoonMessage;
 use platoon_sim::defense::{Defense, DetectionEvent, RejectReason};
@@ -56,8 +57,8 @@ struct Reputation {
     alpha: f64,
     /// Negative evidence mass β.
     beta: f64,
-    /// Last claims, for consistency checking: (time, position, speed).
-    last_claim: Option<(f64, f64, f64)>,
+    /// Last claim, for consistency checking via `platoon_detect::checks`.
+    last_claim: Option<ClaimSnapshot>,
     last_update: f64,
 }
 
@@ -155,29 +156,24 @@ impl TrustDefense {
         }
         rep.last_update = now;
 
-        let mut consistent = accel.abs() <= config.max_accel;
-        if let Some((t0, p0, v0)) = rep.last_claim {
-            let dt = now - t0;
-            if dt > 1e-6 {
-                // Dead-reckon the previous claim forward.
-                let predicted = p0 + v0 * dt;
-                if (position - predicted).abs() > config.position_tolerance + 2.0 * dt {
-                    consistent = false;
-                }
-                // Implied acceleration between claims.
-                let implied_accel = (speed - v0) / dt;
-                if implied_accel.abs() > config.max_accel {
-                    consistent = false;
-                }
-            } else {
-                // Two beacons claiming the same instant with materially
-                // different kinematics: a self-contradiction, the signature
-                // of an impersonator transmitting alongside the real sender.
-                if (speed - v0).abs() > 1.0 || (position - p0).abs() > 5.0 {
-                    consistent = false;
-                }
-            }
-        }
+        // The shared plausibility vocabulary from `platoon-detect`, in its
+        // legacy trust profile (no claimed-vs-implied acceleration
+        // cross-check): teleport, implied acceleration and the same-instant
+        // contradiction test — the signature of an impersonator
+        // transmitting alongside the real sender.
+        let next = ClaimSnapshot {
+            time: now,
+            position,
+            speed,
+            accel,
+        };
+        let limits = KinematicLimits {
+            max_accel: config.max_accel,
+            position_tolerance: config.position_tolerance,
+            accel_mismatch: None,
+            ..KinematicLimits::default()
+        };
+        let consistent = claim_faults(rep.last_claim, next, &limits).is_empty();
         if consistent {
             rep.alpha += 1.0;
         } else {
@@ -193,7 +189,7 @@ impl TrustDefense {
             rep.alpha *= scale;
             rep.beta *= scale;
         }
-        rep.last_claim = Some((now, position, speed));
+        rep.last_claim = Some(next);
 
         if rep.score() < config.eviction_threshold && !self.evicted.contains_key(&sender) {
             self.evicted.insert(sender, now);

@@ -20,6 +20,7 @@
 //!   (Sybil, Convoy-style physical context verification \[4\]).
 
 use platoon_crypto::cert::PrincipalId;
+use platoon_detect::checks;
 use platoon_proto::envelope::Envelope;
 use platoon_proto::messages::PlatoonMessage;
 use platoon_sim::defense::{Defense, DetectionEvent, RejectReason};
@@ -235,7 +236,8 @@ impl Defense for VpdAdaDefense {
                     .medium
                     .dsrc
                     .median_rx_power_dbm(world.medium.dsrc.default_tx_power_dbm, d);
-                if (delivery.rssi_dbm - expected).abs() > self.config.rssi_threshold_db {
+                if checks::rssi_anomaly(expected, delivery.rssi_dbm, self.config.rssi_threshold_db)
+                {
                     self.violate(receiver_idx, envelope.sender, now);
                     self.rejected += 1;
                     return Err(RejectReason::Implausible);
@@ -261,10 +263,14 @@ impl Defense for VpdAdaDefense {
                     let measured_rel_speed = world
                         .true_range_rate(receiver_idx)
                         .unwrap_or(claimed_rel_speed);
-                    let gap_bad = (claimed_gap - measured_gap).abs() > self.config.gap_threshold;
-                    let speed_bad = (claimed_rel_speed - measured_rel_speed).abs()
-                        > self.config.speed_threshold;
-                    if gap_bad || speed_bad {
+                    if checks::ranging_mismatch(
+                        claimed_gap,
+                        measured_gap,
+                        claimed_rel_speed,
+                        measured_rel_speed,
+                        self.config.gap_threshold,
+                        self.config.speed_threshold,
+                    ) {
                         self.violate(receiver_idx, envelope.sender, now);
                         self.rejected += 1;
                         return Err(RejectReason::Implausible);

@@ -157,7 +157,10 @@ fn corrupted_authenticated_frames_never_verify() {
         let mut bytes = enc_frame.clone();
         bytes[i] ^= 0x40;
         if let Ok(env) = Envelope::decode(&bytes) {
-            assert!(env.open_encrypted(&key).is_err(), "encrypted frame byte {i}");
+            assert!(
+                env.open_encrypted(&key).is_err(),
+                "encrypted frame byte {i}"
+            );
         }
     }
 
@@ -178,7 +181,10 @@ fn corrupted_authenticated_frames_never_verify() {
 fn unknown_message_and_scheme_tags_rejected() {
     for tag in 9u8..=255 {
         let err = PlatoonMessage::decode(&[tag]).unwrap_err();
-        assert!(matches!(err, DecodeError::BadTag { .. }), "message tag {tag}");
+        assert!(
+            matches!(err, DecodeError::BadTag { .. }),
+            "message tag {tag}"
+        );
     }
     // Envelope: sender (8 bytes) then an unknown scheme tag.
     let mut frame = vec![0u8; 8];

@@ -20,12 +20,18 @@
 use crate::attack::Attack;
 use crate::defense::{Defense, RejectReason};
 use crate::events::{Event, EventLog};
-use crate::metrics::{MetricsCollector, RunSummary};
+use crate::metrics::{score_alerts, DetectionSummary, MetricsCollector, RunSummary, TruthLabels};
 use crate::scenario::{AuthMode, CommsMode, ControllerKind, Scenario};
 use crate::world::{AuthMaterial, CommState, HeardPeer, Rsu, VehicleNode, World};
 use platoon_crypto::cert::{CertificateAuthority, PrincipalId};
 use platoon_crypto::keys::{KeyPair, SymmetricKey};
 use platoon_crypto::signature::Signer;
+use platoon_detect::fusion::{Alert, AlertTarget};
+use platoon_detect::observation::{
+    AuthMeta, BeaconClaim, BeaconObservation, ControlKind, ControlObservation, ObserverContext,
+    SensorObservation, TickContext,
+};
+use platoon_detect::pipeline::Pipeline;
 use platoon_dynamics::acc::AccController;
 use platoon_dynamics::cacc::CaccController;
 use platoon_dynamics::consensus::ConsensusController;
@@ -74,6 +80,10 @@ pub struct Engine {
     rejected_messages: usize,
     /// Count of detections raised by defenses.
     detections: usize,
+    /// Optional streaming misbehavior-detection pipeline (`platoon-detect`).
+    pipeline: Option<Pipeline>,
+    /// Ground-truth attack labels for scoring the alert stream.
+    truth: Option<TruthLabels>,
     /// Next platoon id to assign on splits.
     next_platoon_id: u32,
     steps_run: u64,
@@ -189,6 +199,8 @@ impl Engine {
             claimed_positions: HashMap::new(),
             rejected_messages: 0,
             detections: 0,
+            pipeline: None,
+            truth: None,
             next_platoon_id: 2,
             steps_run: 0,
             service_was_down: vec![false; n],
@@ -261,6 +273,45 @@ impl Engine {
     /// The event log.
     pub fn events(&self) -> &EventLog {
         &self.events
+    }
+
+    /// Attaches a streaming misbehavior-detection pipeline. The engine
+    /// feeds it every observation vehicles already see — received beacons
+    /// and manoeuvre messages (after channel delivery, with RSSI and
+    /// credential metadata), on-board radar/LiDAR cross-check samples, and
+    /// a per-step tick for silence monitoring. Alerts it raises are
+    /// counted in `detections` and logged as events.
+    pub fn attach_detectors(&mut self, pipeline: Pipeline) {
+        self.pipeline = Some(pipeline);
+    }
+
+    /// The attached detection pipeline, if any.
+    pub fn detector_pipeline(&self) -> Option<&Pipeline> {
+        self.pipeline.as_ref()
+    }
+
+    /// Labels the run with ground truth about the injected attack, so the
+    /// alert stream can be scored by [`detection_summary`](Self::detection_summary).
+    pub fn set_truth(&mut self, truth: TruthLabels) {
+        self.truth = Some(truth);
+    }
+
+    /// The ground-truth labels, if set.
+    pub fn truth(&self) -> Option<&TruthLabels> {
+        self.truth.as_ref()
+    }
+
+    /// Every alert the detection pipeline has raised, in raise order
+    /// (empty when no pipeline is attached).
+    pub fn alerts(&self) -> &[Alert] {
+        self.pipeline.as_ref().map(|p| p.alerts()).unwrap_or(&[])
+    }
+
+    /// Scores the alert stream against the run's ground-truth labels.
+    /// `None` until [`set_truth`](Self::set_truth) has been called.
+    pub fn detection_summary(&self) -> Option<DetectionSummary> {
+        let truth = self.truth.as_ref()?;
+        Some(score_alerts(self.alerts(), truth))
     }
 
     /// The metric collector.
@@ -469,6 +520,7 @@ impl Engine {
                 );
             }
         }
+        self.run_detection_pipeline(now);
 
         // Phase 5: integrate dynamics and collect metrics.
         self.integrate_and_measure(now);
@@ -718,7 +770,178 @@ impl Engine {
             if !seen_payloads.insert(payload_key) {
                 continue; // duplicate channel copy already applied
             }
+            if let Some(pipeline) = self.pipeline.as_mut() {
+                Self::feed_pipeline(pipeline, &self.world, rx_idx, delivery, &env, &msg, now);
+            }
             self.apply_message(rx_idx, env.sender, &env, msg, now);
+        }
+    }
+
+    /// Translates one accepted delivery into the observation the receiver's
+    /// on-board IDS would see, and feeds it to the detection pipeline.
+    fn feed_pipeline(
+        pipeline: &mut Pipeline,
+        world: &World,
+        rx_idx: usize,
+        delivery: &Delivery,
+        env: &Envelope,
+        msg: &PlatoonMessage,
+        now: f64,
+    ) {
+        use platoon_proto::envelope::AuthScheme;
+        let auth = match &env.auth {
+            AuthScheme::Plain => AuthMeta::Plain,
+            AuthScheme::GroupMac { .. } => AuthMeta::GroupMac,
+            AuthScheme::EncryptedGroupMac { .. } => AuthMeta::Encrypted,
+            AuthScheme::Signed { certificate, .. } => AuthMeta::Signed {
+                subject: certificate.subject,
+            },
+        };
+        let rx = &world.vehicles[rx_idx];
+        // The position the message claims its sender occupies (for RSSI and
+        // co-location context).
+        let claimed_position = match msg {
+            PlatoonMessage::Beacon(b) => Some(b.position),
+            PlatoonMessage::JoinRequest { position, .. } => Some(*position),
+            _ => None,
+        };
+        // RSSI the claimed position would predict (RF channels only; VLC
+        // has no meaningful received-power model).
+        let expected_rssi_dbm = match (claimed_position, delivery.channel) {
+            (Some(claimed), ChannelKind::Dsrc | ChannelKind::CV2x) => {
+                let d = platoon_v2x::message::distance((claimed, 0.0), rx.position());
+                Some(
+                    world
+                        .medium
+                        .dsrc
+                        .median_rx_power_dbm(world.medium.dsrc.default_tx_power_dbm, d),
+                )
+            }
+            _ => None,
+        };
+        let colocation_conflict = claimed_position.is_some_and(|claimed| {
+            world.vehicles.iter().any(|v| {
+                v.principal != env.sender
+                    && (v.vehicle.state.position - claimed).abs() < v.vehicle.params.length * 0.5
+            })
+        });
+        let ctx = ObserverContext {
+            observer: rx_idx,
+            observer_principal: rx.principal,
+            observer_position: rx.vehicle.state.position,
+            observer_speed: rx.vehicle.state.speed,
+            sender_is_predecessor: rx_idx > 0 && world.vehicles[rx_idx - 1].principal == env.sender,
+            // The observer's own ranging to its predecessor: the control
+            // loop's radar path (ground truth here; sensor noise rides on
+            // the control reading, not the IDS cross-check — the same
+            // convention VPD-ADA uses).
+            ranged_gap: if rx_idx > 0 {
+                world.true_gap(rx_idx).zip(world.true_range_rate(rx_idx))
+            } else {
+                None
+            },
+            expected_rssi_dbm,
+            colocation_conflict,
+        };
+        match msg {
+            PlatoonMessage::Beacon(b) => pipeline.observe_beacon(&BeaconObservation {
+                time: now,
+                sender: env.sender,
+                claim: BeaconClaim {
+                    position: b.position,
+                    speed: b.speed,
+                    accel: b.accel,
+                    length: b.length,
+                    seq: b.seq,
+                    timestamp: b.timestamp,
+                },
+                rssi_dbm: delivery.rssi_dbm,
+                channel: delivery.channel,
+                auth,
+                ctx,
+            }),
+            other => {
+                let kind = match other {
+                    PlatoonMessage::JoinRequest { position, .. } => ControlKind::JoinRequest {
+                        claimed_position: *position,
+                    },
+                    PlatoonMessage::LeaveRequest { .. } => ControlKind::LeaveRequest,
+                    PlatoonMessage::SplitCommand { .. } => ControlKind::SplitCommand,
+                    PlatoonMessage::GapOpen { .. } => ControlKind::GapOpen,
+                    _ => ControlKind::Other,
+                };
+                pipeline.observe_control(&ControlObservation {
+                    time: now,
+                    sender: env.sender,
+                    kind,
+                    timestamp: other.timestamp(),
+                    rssi_dbm: delivery.rssi_dbm,
+                    channel: delivery.channel,
+                    auth,
+                    ctx,
+                });
+            }
+        }
+    }
+
+    /// Per-step detection-pipeline work: on-board sensor cross-checks,
+    /// silence monitoring, and draining freshly raised alerts into the
+    /// event log.
+    fn run_detection_pipeline(&mut self, now: f64) {
+        let Some(pipeline) = self.pipeline.as_mut() else {
+            return;
+        };
+        // Radar-vs-LiDAR cross-check samples for every operational follower
+        // (independent ranging paths over the same true gap).
+        for idx in 1..self.world.vehicles.len() {
+            let v = &self.world.vehicles[idx];
+            if !v.platooning_enabled {
+                continue;
+            }
+            let Some(true_gap) = self.world.true_gap(idx) else {
+                continue;
+            };
+            let true_rate = self.world.true_range_rate(idx).unwrap_or(0.0);
+            let radar = v
+                .sensors
+                .radar
+                .measure(true_gap, true_rate, now, &mut self.rng);
+            let lidar = v.sensors.lidar.measure(true_gap, now, &mut self.rng);
+            if let (Some((radar_range, _)), Some(lidar_range)) = (radar, lidar) {
+                pipeline.observe_sensors(&SensorObservation {
+                    time: now,
+                    observer: idx,
+                    observer_principal: v.principal,
+                    radar_range,
+                    lidar_range,
+                });
+            }
+        }
+        // Silence monitoring: every vehicle is *expected* to beacon; only
+        // operational vehicles observe.
+        let members: Vec<PrincipalId> = self.world.vehicles.iter().map(|v| v.principal).collect();
+        let observers: Vec<usize> = self
+            .world
+            .vehicles
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.platooning_enabled)
+            .map(|(i, _)| i)
+            .collect();
+        pipeline.tick(&TickContext {
+            now,
+            comm_step: self.scenario.comm_step,
+            members: &members,
+            observers: &observers,
+        });
+        for alert in pipeline.take_alerts() {
+            self.detections += 1;
+            match alert.target {
+                AlertTarget::Sender(suspect) => {
+                    self.events.push(alert.time, Event::Detection { suspect });
+                }
+                AlertTarget::Channel => self.events.push(alert.time, Event::ChannelAlarm),
+            }
         }
     }
 
@@ -758,8 +981,7 @@ impl Engine {
                         self.world.vehicles[rx_idx].comm.leader = Some(heard);
                         // The stored wire image only feeds VLC relaying.
                         if self.scenario.comms == CommsMode::HybridVlc {
-                            self.world.vehicles[rx_idx].comm.leader_envelope =
-                                Some(env.encode());
+                            self.world.vehicles[rx_idx].comm.leader_envelope = Some(env.encode());
                         }
                     }
                 }
@@ -835,7 +1057,9 @@ impl Engine {
                     }
                 }
             }
-            PlatoonMessage::LeaveRequest { member, platoon, .. } => {
+            PlatoonMessage::LeaveRequest {
+                member, platoon, ..
+            } => {
                 if rx_idx != 0 || self.world.vehicles[rx_idx].platoon != platoon {
                     return;
                 }

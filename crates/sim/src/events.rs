@@ -51,6 +51,9 @@ pub enum Event {
         /// The accused principal.
         suspect: PrincipalId,
     },
+    /// A channel-level misbehaviour alarm with no attributable sender
+    /// (jamming, manoeuvre-channel flooding).
+    ChannelAlarm,
     /// A vehicle's platooning service went down (malware).
     ServiceDown {
         /// The affected vehicle index.

@@ -196,7 +196,9 @@ impl<T: Send> Batch<T> {
                         .expect("job slot poisoned")
                         .take()
                         .expect("job claimed twice");
-                    let seed = job.seed.unwrap_or_else(|| derive_seed(&job.label, base_seed));
+                    let seed = job
+                        .seed
+                        .unwrap_or_else(|| derive_seed(&job.label, base_seed));
                     let value = (job.run)(seed);
                     let entry = BatchEntry {
                         label: job.label,
@@ -479,17 +481,14 @@ pub mod json {
                                 Some(b't') => s.push('\t'),
                                 Some(b'r') => s.push('\r'),
                                 Some(b'u') => {
-                                    let hex = b
-                                        .get(*pos + 1..*pos + 5)
-                                        .ok_or("truncated \\u escape")?;
+                                    let hex =
+                                        b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
                                     let code = u32::from_str_radix(
                                         std::str::from_utf8(hex).map_err(|e| e.to_string())?,
                                         16,
                                     )
                                     .map_err(|e| e.to_string())?;
-                                    s.push(
-                                        char::from_u32(code).ok_or("invalid \\u code point")?,
-                                    );
+                                    s.push(char::from_u32(code).ok_or("invalid \\u code point")?);
                                     *pos += 4;
                                 }
                                 other => return Err(format!("bad escape {other:?}")),
@@ -498,8 +497,8 @@ pub mod json {
                         }
                         Some(_) => {
                             // Consume one UTF-8 scalar (multi-byte safe).
-                            let rest = std::str::from_utf8(&b[*pos..])
-                                .map_err(|e| e.to_string())?;
+                            let rest =
+                                std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
                             let c = rest.chars().next().expect("non-empty");
                             s.push(c);
                             *pos += c.len_utf8();
@@ -682,9 +681,7 @@ pub mod json {
                     '\n' => self.out.push_str("\\n"),
                     '\t' => self.out.push_str("\\t"),
                     '\r' => self.out.push_str("\\r"),
-                    c if (c as u32) < 0x20 => {
-                        self.out.push_str(&format!("\\u{:04x}", c as u32))
-                    }
+                    c if (c as u32) < 0x20 => self.out.push_str(&format!("\\u{:04x}", c as u32)),
                     c => self.out.push(c),
                 }
             }
@@ -787,7 +784,12 @@ pub mod golden {
         if diffs.is_empty() {
             return Ok(Outcome::Match);
         }
-        let shown = diffs.iter().take(25).cloned().collect::<Vec<_>>().join("\n  ");
+        let shown = diffs
+            .iter()
+            .take(25)
+            .cloned()
+            .collect::<Vec<_>>()
+            .join("\n  ");
         let more = if diffs.len() > 25 {
             format!("\n  … and {} more differences", diffs.len() - 25)
         } else {
@@ -811,7 +813,13 @@ pub mod golden {
         }
     }
 
-    fn diff_values(path: &str, golden: &Value, actual: &Value, tol: Tolerance, out: &mut Vec<String>) {
+    fn diff_values(
+        path: &str,
+        golden: &Value,
+        actual: &Value,
+        tol: Tolerance,
+        out: &mut Vec<String>,
+    ) {
         // Numbers (including the non-finite string encodings) compare with
         // tolerance; everything else structurally.
         if let (Some(g), Some(a)) = (golden.as_f64(), actual.as_f64()) {
@@ -990,6 +998,119 @@ mod tests {
     fn parser_rejects_malformed_documents() {
         for bad in ["{", "[1,", "{\"a\" 1}", "tru", "\"open", "{\"a\":1}x"] {
             assert!(json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn nested_arrays_of_structs_serialize_and_parse() {
+        // The Table-IV document shape: rows of structs, each carrying its
+        // own score array (with non-finite members) — deeper nesting than
+        // any RunSummary field exercises.
+        let rows: [(&str, &[f64]); 2] = [
+            ("alpha", &[1.5, f64::INFINITY]),
+            ("beta", &[f64::NAN, -0.25, f64::NEG_INFINITY]),
+        ];
+        let mut w = json::Writer::new();
+        w.obj(|w| {
+            w.field_arr("rows", |w| {
+                for (name, scores) in rows {
+                    w.elem(|w| {
+                        w.obj(|w| {
+                            w.field_str("name", name);
+                            w.field_arr("scores", |w| {
+                                for s in scores {
+                                    w.elem(|w| w.push_f64(*s));
+                                }
+                            });
+                            w.field_arr("empty", |_| {});
+                        })
+                    });
+                }
+            });
+        });
+        let text = w.finish();
+        let v = json::parse(&text).expect("nested document parses");
+        let Some(Value::Arr(parsed)) = v.get("rows") else {
+            panic!("rows is an array")
+        };
+        assert_eq!(parsed.len(), 2);
+        for (row, (name, scores)) in parsed.iter().zip(rows) {
+            assert_eq!(row.get("name"), Some(&Value::Str(name.to_string())));
+            let Some(Value::Arr(got)) = row.get("scores") else {
+                panic!("scores is an array")
+            };
+            assert_eq!(got.len(), scores.len());
+            for (g, want) in got.iter().zip(scores) {
+                let g = g.as_f64().expect("score is numeric");
+                assert!(
+                    (g.is_nan() && want.is_nan()) || g == *want,
+                    "score {want} came back as {g}"
+                );
+            }
+            assert_eq!(row.get("empty"), Some(&Value::Arr(Vec::new())));
+        }
+    }
+}
+
+#[cfg(test)]
+mod serializer_proptests {
+    use super::json::{self, Value};
+    use proptest::prelude::*;
+
+    /// Every f64 bit pattern: finite values of any magnitude, ±inf, NaNs
+    /// with arbitrary payloads, signed zeros, denormals.
+    fn arb_score() -> impl Strategy<Value = f64> {
+        any::<u64>().prop_map(f64::from_bits)
+    }
+
+    fn same(a: f64, b: f64) -> bool {
+        (a.is_nan() && b.is_nan()) || a == b
+    }
+
+    proptest! {
+        /// Any rows-of-score-arrays document — nested structs with
+        /// arbitrary (possibly non-finite) floats — survives the
+        /// writer→parser round trip value-exactly.
+        #[test]
+        fn nested_score_arrays_roundtrip(
+            rows in proptest::collection::vec(
+                (0u64..1_000_000, proptest::collection::vec(arb_score(), 0..6)),
+                0..5,
+            )
+        ) {
+            let mut w = json::Writer::new();
+            w.obj(|w| {
+                w.field_arr("rows", |w| {
+                    for (id, scores) in &rows {
+                        w.elem(|w| {
+                            w.obj(|w| {
+                                w.field_u64("id", *id);
+                                w.field_arr("scores", |w| {
+                                    for s in scores {
+                                        w.elem(|w| w.push_f64(*s));
+                                    }
+                                });
+                            })
+                        });
+                    }
+                });
+            });
+            let v = json::parse(&w.finish()).expect("writer output parses");
+            let Some(Value::Arr(parsed)) = v.get("rows") else {
+                panic!("rows is an array")
+            };
+            prop_assert_eq!(parsed.len(), rows.len());
+            for (row, (id, scores)) in parsed.iter().zip(&rows) {
+                prop_assert_eq!(row.get("id").unwrap().as_f64(), Some(*id as f64));
+                let Some(Value::Arr(got)) = row.get("scores") else {
+                    panic!("scores is an array")
+                };
+                prop_assert_eq!(got.len(), scores.len());
+                for (g, want) in got.iter().zip(scores) {
+                    let g = g.as_f64().expect("score is numeric");
+                    prop_assert!(same(g, *want), "score {} came back as {}", want, g);
+                }
+            }
         }
     }
 }

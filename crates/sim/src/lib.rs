@@ -54,7 +54,9 @@ pub mod prelude {
     pub use crate::engine::Engine;
     pub use crate::events::{Event, EventLog, LoggedEvent};
     pub use crate::harness::{derive_seed, Batch, BatchEntry, BatchJob, BatchReport};
-    pub use crate::metrics::{MetricsCollector, RunSummary};
+    pub use crate::metrics::{
+        score_alerts, DetectionSummary, MetricsCollector, RunSummary, TruthLabels,
+    };
     pub use crate::scenario::{AuthMode, CommsMode, ControllerKind, Scenario, ScenarioBuilder};
     pub use crate::world::{
         AuthMaterial, BeaconLie, CommState, HeardPeer, Rsu, VehicleNode, World,

@@ -1,5 +1,9 @@
-//! Run metrics: everything an experiment reports about a simulation.
+//! Run metrics: everything an experiment reports about a simulation,
+//! including detection-quality scoring of the alert stream against
+//! ground-truth attack labels.
 
+use platoon_crypto::cert::PrincipalId;
+use platoon_detect::fusion::{Alert, AlertTarget};
 use platoon_dynamics::safety::SafetyMonitor;
 use platoon_dynamics::stability::{StringStabilityReport, TimeSeries};
 use platoon_proto::maneuver::ManeuverStats;
@@ -140,6 +144,111 @@ impl RunSummary {
     }
 }
 
+/// Ground-truth labelling of a run: which identities actually misbehaved
+/// and from when. The engine scores the detection pipeline's alert stream
+/// against this to produce a [`DetectionSummary`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TruthLabels {
+    /// Human-readable attack name (golden-table row key).
+    pub attack: String,
+    /// When the attack became active, seconds (`f64::INFINITY` for a
+    /// benign run: every alert is then a false positive).
+    pub start: f64,
+    /// Whether the attack manifests as a channel-level condition (jamming,
+    /// flooding) so unattributed channel alarms count as true positives.
+    pub channel_attack: bool,
+    /// Specific guilty identities (insiders, impersonated victims, the
+    /// malware-disabled vehicle).
+    pub guilty: Vec<PrincipalId>,
+    /// If set, every identity at or above this id is fabricated and
+    /// guilty — covers Sybil ghost ranges and join-flood id blocks without
+    /// enumerating hundreds of principals.
+    pub guilty_from: Option<u64>,
+}
+
+impl TruthLabels {
+    /// Labels for a run with no attack: any alert is a false positive.
+    pub fn benign(label: &str) -> Self {
+        TruthLabels {
+            attack: label.to_string(),
+            start: f64::INFINITY,
+            channel_attack: false,
+            guilty: Vec::new(),
+            guilty_from: None,
+        }
+    }
+
+    /// Whether an identity is labelled guilty.
+    pub fn is_guilty(&self, principal: PrincipalId) -> bool {
+        self.guilty.contains(&principal)
+            || self.guilty_from.is_some_and(|floor| principal.0 >= floor)
+    }
+}
+
+/// Detection-quality metrics for one run: the alert stream scored against
+/// [`TruthLabels`]. This is what the Table-IV experiment tabulates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DetectionSummary {
+    /// Total alerts raised.
+    pub alerts: usize,
+    /// Alerts at/after attack start implicating a guilty party (or the
+    /// channel, for channel-level attacks).
+    pub true_positives: usize,
+    /// Everything else, including any alert before the attack started.
+    pub false_positives: usize,
+    /// Whether the attack was detected at all.
+    pub detected: bool,
+    /// Seconds from attack start to the first true positive
+    /// (`f64::INFINITY` if never detected).
+    pub first_detection_latency: f64,
+    /// Fraction of sender-attributed alerts (at/after start) naming a
+    /// guilty identity (`f64::NAN` when there are none to judge).
+    pub attribution_accuracy: f64,
+}
+
+/// Scores an alert stream against ground truth.
+pub fn score_alerts(alerts: &[Alert], truth: &TruthLabels) -> DetectionSummary {
+    let mut true_positives = 0;
+    let mut false_positives = 0;
+    let mut first_latency = f64::INFINITY;
+    let mut attributed = 0usize;
+    let mut attributed_correct = 0usize;
+    for alert in alerts {
+        let in_window = alert.time >= truth.start;
+        let hit = in_window
+            && match alert.target {
+                AlertTarget::Sender(p) => truth.is_guilty(p),
+                AlertTarget::Channel => truth.channel_attack,
+            };
+        if hit {
+            true_positives += 1;
+            first_latency = first_latency.min(alert.time - truth.start);
+        } else {
+            false_positives += 1;
+        }
+        if in_window {
+            if let AlertTarget::Sender(p) = alert.target {
+                attributed += 1;
+                if truth.is_guilty(p) {
+                    attributed_correct += 1;
+                }
+            }
+        }
+    }
+    DetectionSummary {
+        alerts: alerts.len(),
+        true_positives,
+        false_positives,
+        detected: true_positives > 0,
+        first_detection_latency: first_latency,
+        attribution_accuracy: if attributed == 0 {
+            f64::NAN
+        } else {
+            attributed_correct as f64 / attributed as f64
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,7 +294,10 @@ mod tests {
         let r = c.stability();
         assert!(r.total_energy.is_finite());
         assert!(r.worst_amplification().is_finite());
-        assert!(r.is_string_stable(0.05), "empty errors are trivially stable");
+        assert!(
+            r.is_string_stable(0.05),
+            "empty errors are trivially stable"
+        );
         assert_eq!(c.safety.collision_count(), 0);
         assert_eq!(c.links.mean_latency(), 0.0, "no samples, no 0/0");
     }
@@ -242,5 +354,65 @@ mod tests {
         let line = s.one_line();
         assert!(line.contains("degenerate"));
         assert!(line.contains("NaN"), "infinite gap renders as NaN marker");
+    }
+
+    fn alert(time: f64, target: AlertTarget) -> Alert {
+        Alert {
+            time,
+            target,
+            score: 1.0,
+            contributors: vec![("kinematic", 1.0)],
+        }
+    }
+
+    #[test]
+    fn scoring_separates_tp_fp_and_latency() {
+        let truth = TruthLabels {
+            attack: "sybil".into(),
+            start: 5.0,
+            channel_attack: false,
+            guilty: vec![],
+            guilty_from: Some(7000),
+        };
+        let alerts = vec![
+            alert(4.0, AlertTarget::Sender(PrincipalId(7000))), // pre-start: FP
+            alert(6.5, AlertTarget::Sender(PrincipalId(7001))), // TP
+            alert(7.0, AlertTarget::Sender(PrincipalId(2))),    // honest: FP
+            alert(8.0, AlertTarget::Channel),                   // not a channel attack: FP
+        ];
+        let s = score_alerts(&alerts, &truth);
+        assert_eq!(s.alerts, 4);
+        assert_eq!(s.true_positives, 1);
+        assert_eq!(s.false_positives, 3);
+        assert!(s.detected);
+        assert!((s.first_detection_latency - 1.5).abs() < 1e-12);
+        assert!((s.attribution_accuracy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn benign_truth_marks_every_alert_false() {
+        let truth = TruthLabels::benign("benign");
+        let s = score_alerts(&[alert(1.0, AlertTarget::Sender(PrincipalId(1)))], &truth);
+        assert!(!s.detected);
+        assert_eq!(s.false_positives, 1);
+        assert!(s.first_detection_latency.is_infinite());
+        assert!(s.attribution_accuracy.is_nan());
+    }
+
+    #[test]
+    fn channel_attacks_accept_channel_alarms() {
+        let truth = TruthLabels {
+            attack: "jamming".into(),
+            start: 3.0,
+            channel_attack: true,
+            guilty: vec![],
+            guilty_from: None,
+        };
+        let s = score_alerts(&[alert(4.0, AlertTarget::Channel)], &truth);
+        assert_eq!(s.true_positives, 1);
+        assert!(
+            s.attribution_accuracy.is_nan(),
+            "no sender-attributed alerts"
+        );
     }
 }

@@ -48,9 +48,7 @@ fn main() {
     for entry in &parallel.entries {
         println!("{}", entry.value.one_line());
     }
-    println!(
-        "\n1 worker: {serial_time:.2?}   {workers} workers: {parallel_time:.2?}"
-    );
+    println!("\n1 worker: {serial_time:.2?}   {workers} workers: {parallel_time:.2?}");
     println!(
         "reports byte-identical: {}",
         serial.to_canonical_json() == parallel.to_canonical_json()

@@ -20,6 +20,7 @@
 //! | [`sim`] | the scenario-driven simulation engine with attack/defense hooks |
 //! | [`attacks`] | the Table II attack suite (replay, Sybil, jamming, DoS, …) |
 //! | [`defense`] | the Table III mechanism suite (keys, RSU, VPD-ADA, SP-VLC, …) |
+//! | [`detect`] | the streaming misbehavior-detection pipeline (kinematic, ranging, frequency, identity, freshness detectors + fusion) |
 //! | [`core`] | taxonomies, the ISO/SAE 21434 risk framework and the experiment runner |
 //!
 //! # Quickstart
@@ -57,6 +58,7 @@ pub use platoon_attacks as attacks;
 pub use platoon_core as core;
 pub use platoon_crypto as crypto;
 pub use platoon_defense as defense;
+pub use platoon_detect as detect;
 pub use platoon_dynamics as dynamics;
 pub use platoon_proto as proto;
 pub use platoon_sim as sim;
@@ -71,6 +73,7 @@ pub mod prelude {
         TimestampWindow,
     };
     pub use platoon_defense::prelude::*;
+    pub use platoon_detect::prelude::*;
     pub use platoon_dynamics::prelude::*;
     pub use platoon_sim::prelude::*;
     pub use platoon_v2x::prelude::{

@@ -63,7 +63,11 @@ fn golden_path(name: &str) -> std::path::PathBuf {
 #[test]
 fn controller_auth_comms_grid_is_sound() {
     let report = grid_batch().run_report(4);
-    assert_eq!(report.entries.len(), 48, "4 controllers × 4 auths × 3 comms");
+    assert_eq!(
+        report.entries.len(),
+        48,
+        "4 controllers × 4 auths × 3 comms"
+    );
 
     // Semantic invariants per cell, independent of the snapshot.
     for entry in &report.entries {

@@ -71,7 +71,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Times one benchmark.
-    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let n = self.sample_size;
         self.run_with(name, f, n);
         self
@@ -82,14 +86,23 @@ impl BenchmarkGroup<'_> {
         self.run_with(name, f, n);
     }
 
-    fn run_with(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher), samples: usize) {
+    fn run_with(
+        &mut self,
+        name: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+        samples: usize,
+    ) {
         let name = name.into();
         // Warm-up: one untimed pass.
-        let mut warm = Bencher { elapsed: Duration::ZERO };
+        let mut warm = Bencher {
+            elapsed: Duration::ZERO,
+        };
         f(&mut warm);
         let mut times = Vec::with_capacity(samples);
         for _ in 0..samples {
-            let mut b = Bencher { elapsed: Duration::ZERO };
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+            };
             f(&mut b);
             times.push(b.elapsed);
         }
