@@ -131,7 +131,7 @@ impl Attack for JoinFloodAttack {
                 origin,
                 power_dbm: power,
                 channel: ChannelKind::Dsrc,
-                payload: Envelope::plain(ghost, &msg).encode(),
+                payload: Envelope::plain(ghost, &msg).encode().into(),
             });
         }
     }

@@ -169,7 +169,7 @@ impl Attack for FakeManeuverAttack {
             origin: self.position(world),
             power_dbm: world.medium.dsrc.default_tx_power_dbm + 3.0,
             channel: ChannelKind::Dsrc,
-            payload: Envelope::plain(claimed, &msg).encode(),
+            payload: Envelope::plain(claimed, &msg).encode().into(),
         });
     }
 

@@ -140,7 +140,7 @@ impl Attack for ImpersonationAttack {
             origin: self.position(world),
             power_dbm: world.medium.dsrc.default_tx_power_dbm + 3.0,
             channel: ChannelKind::Dsrc,
-            payload: Envelope::plain(victim, &beacon).encode(),
+            payload: Envelope::plain(victim, &beacon).encode().into(),
         });
         self.forged += 1;
     }

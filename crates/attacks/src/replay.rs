@@ -15,7 +15,7 @@
 use platoon_sim::attack::{Attack, SecurityAttribute};
 use platoon_sim::world::World;
 use platoon_v2x::medium::Receiver;
-use platoon_v2x::message::{ChannelKind, Delivery, Frame, NodeId, Position};
+use platoon_v2x::message::{ChannelKind, Delivery, Frame, NodeId, Payload, Position};
 use rand::rngs::StdRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -71,7 +71,7 @@ impl Default for ReplayConfig {
 #[derive(Debug)]
 pub struct ReplayAttack {
     config: ReplayConfig,
-    recorded: Vec<Vec<u8>>,
+    recorded: Vec<Payload>,
     replayed: u64,
     carry: f64,
 }

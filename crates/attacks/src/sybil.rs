@@ -162,7 +162,7 @@ impl Attack for SybilAttack {
                 origin,
                 power_dbm: power,
                 channel: ChannelKind::Dsrc,
-                payload: Envelope::plain(ghost, &beacon).encode(),
+                payload: Envelope::plain(ghost, &beacon).encode().into(),
             });
         }
 
@@ -195,7 +195,7 @@ impl Attack for SybilAttack {
                 origin,
                 power_dbm: power,
                 channel: ChannelKind::Dsrc,
-                payload: Envelope::plain(ghost, &msg).encode(),
+                payload: Envelope::plain(ghost, &msg).encode().into(),
             });
             self.requests_sent += 1;
         }

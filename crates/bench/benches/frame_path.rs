@@ -1,0 +1,101 @@
+//! Frame-building hot path: clone-per-frame versus the arena-shared
+//! payload the engine now uses.
+//!
+//! Every communication step the engine turns each sealed envelope into one
+//! frame per channel. The naive builder clones the encoded bytes into every
+//! frame (one allocation + one byte copy each); the shared builder encodes
+//! once and hands out `Payload` clones (an `Arc` refcount bump). The third
+//! benchmark times a full hybrid-VLC engine run, the scenario where payload
+//! sharing pays the most (beacon + hybrid copy + relay all share bytes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use platoon_crypto::cert::PrincipalId;
+use platoon_crypto::keys::SymmetricKey;
+use platoon_proto::envelope::Envelope;
+use platoon_proto::messages::{Beacon, PlatoonId, PlatoonMessage, Role};
+use platoon_sim::prelude::*;
+use platoon_v2x::message::{ChannelKind, Frame, NodeId, Payload};
+
+const SENDERS: u64 = 8;
+const CHANNELS: [ChannelKind; 3] = [ChannelKind::Dsrc, ChannelKind::Vlc, ChannelKind::CV2x];
+
+fn sealed_beacon_bytes() -> Vec<u8> {
+    let msg = PlatoonMessage::Beacon(Beacon {
+        sender: PrincipalId(1),
+        platoon: PlatoonId(1),
+        role: Role::Member,
+        seq: 42,
+        timestamp: 12.5,
+        position: 130.25,
+        speed: 24.9,
+        accel: -0.3,
+        length: 16.5,
+    });
+    let key = SymmetricKey::derive(b"bench", "frame-path");
+    Envelope::mac(PrincipalId(1), &msg, &key).encode()
+}
+
+fn frame(sender: u64, channel: ChannelKind, payload: Payload) -> Frame {
+    Frame {
+        sender: NodeId(sender),
+        origin: (sender as f64 * 20.0, 0.0),
+        power_dbm: 23.0,
+        channel,
+        payload,
+    }
+}
+
+fn bench_frame_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_path");
+    let bytes = sealed_beacon_bytes();
+
+    // What the builder did before: one byte copy per frame.
+    g.bench_function("naive_clone_per_frame", |b| {
+        b.iter(|| {
+            let mut frames = Vec::with_capacity((SENDERS as usize) * CHANNELS.len());
+            for s in 0..SENDERS {
+                for ch in CHANNELS {
+                    frames.push(frame(s, ch, Payload::from(bytes.clone())));
+                }
+            }
+            black_box(frames)
+        })
+    });
+
+    // What it does now: one copy per sender, refcount bumps per frame.
+    g.bench_function("arena_shared_payload", |b| {
+        b.iter(|| {
+            let mut frames = Vec::with_capacity((SENDERS as usize) * CHANNELS.len());
+            for s in 0..SENDERS {
+                let payload: Payload = bytes.clone().into();
+                for ch in CHANNELS {
+                    frames.push(frame(s, ch, payload.clone()));
+                }
+            }
+            black_box(frames)
+        })
+    });
+    g.finish();
+}
+
+fn bench_hybrid_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frame_path_engine");
+    g.sample_size(10);
+    g.bench_function("hybrid_vlc_run_10s", |b| {
+        b.iter(|| {
+            let scenario = Scenario::builder()
+                .label("bench/frame-path/vlc")
+                .vehicles(6)
+                .comms(CommsMode::HybridVlc)
+                .auth(AuthMode::GroupMac)
+                .duration(10.0)
+                .seed(7)
+                .build();
+            black_box(Engine::new(scenario).run())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_frame_path, bench_hybrid_engine);
+criterion_main!(benches);

@@ -1,18 +1,25 @@
-//! Regenerates every table and figure of the reproduction.
+//! Regenerates every table and figure of the reproduction, and hosts the
+//! perf subcommand.
 //!
 //! ```text
 //! cargo run --release -p platoon-bench --bin report           # full effort
 //! cargo run --release -p platoon-bench --bin report -- --quick
+//! cargo run --release -p platoon-bench --bin report -- perf --quick
 //! ```
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("perf") {
+        std::process::exit(platoon_core::perf::cli_main(&args[1..]));
+    }
     let mut quick = false;
-    for arg in std::env::args().skip(1) {
+    for arg in &args {
         match arg.as_str() {
             "--quick" => quick = true,
             "--help" | "-h" => {
-                eprintln!("usage: report [--quick]");
+                eprintln!("usage: report [--quick] | report perf [options]");
                 eprintln!("  --quick   shorter runs and fewer sweep points");
+                eprintln!("  perf      the perf grid (see `report perf --help`)");
                 return;
             }
             other => {

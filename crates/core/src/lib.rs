@@ -13,6 +13,8 @@
 //!   detection-quality table for the `platoon-detect` pipeline) and F1–F10
 //!   (the per-attack impact sweeps); see DESIGN.md §3 for the index.
 //! * [`tables`] — plain-text table rendering.
+//! * [`perf`] — the machine-readable perf pipeline: the fixed scenario grid
+//!   behind `BENCH_*.json`, the counters golden and the CI wall-time gate.
 //!
 //! # Examples
 //!
@@ -31,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 pub mod risk;
 pub mod surveys;
 pub mod tables;

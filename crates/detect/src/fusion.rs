@@ -1,7 +1,7 @@
 //! Weighted evidence fusion with hysteresis.
 //!
 //! Fusion keeps one decaying suspicion score per target. Each piece of
-//! [`Evidence`](crate::detector::Evidence) adds `weight(detector) ×
+//! [`Evidence`] adds `weight(detector) ×
 //! strength`; scores decay exponentially between contributions. When a
 //! score crosses the raise threshold an [`Alert`] fires, and the target
 //! stays flagged — no re-alerting — until its score decays back below the

@@ -74,8 +74,8 @@ pub mod prelude {
     pub use crate::identity::{IdentityConfig, IdentityDetector};
     pub use crate::kinematic::{KinematicConfig, KinematicDetector};
     pub use crate::observation::{
-        AuthMeta, BeaconClaim, BeaconObservation, ControlKind, ControlObservation, ObserverContext,
-        SensorObservation, TickContext,
+        AuthMeta, BeaconClaim, BeaconObservation, ControlKind, ControlObservation,
+        MessageObservation, ObserverContext, SensorObservation, TickContext,
     };
     pub use crate::pipeline::{Pipeline, PipelineConfig};
     pub use crate::range::{RangeConfig, RangeConsistencyDetector};

@@ -179,6 +179,18 @@ pub struct ControlObservation {
     pub ctx: ObserverContext,
 }
 
+/// A received over-the-air message observation of either kind, in arrival
+/// order. Lets callers batch a whole delivery round's ingest into one
+/// pipeline call ([`crate::pipeline::Pipeline::ingest_messages`]) while
+/// preserving the interleaving the detectors' stateful tracks depend on.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MessageObservation {
+    /// A received beacon.
+    Beacon(BeaconObservation),
+    /// A received manoeuvre message.
+    Control(ControlObservation),
+}
+
 /// One on-board sensor cross-check sample: independent ranging paths
 /// (radar vs LiDAR) measured by the same vehicle at the same instant.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]

@@ -7,7 +7,9 @@ use crate::freshness::{FreshnessConfig, FreshnessDetector};
 use crate::fusion::{Alert, Fusion, FusionConfig};
 use crate::identity::{IdentityConfig, IdentityDetector};
 use crate::kinematic::{KinematicConfig, KinematicDetector};
-use crate::observation::{BeaconObservation, ControlObservation, SensorObservation, TickContext};
+use crate::observation::{
+    BeaconObservation, ControlObservation, MessageObservation, SensorObservation, TickContext,
+};
 use crate::range::{RangeConfig, RangeConsistencyDetector};
 
 /// Configuration of the full detection bank.
@@ -107,6 +109,23 @@ impl Pipeline {
             det.observe_control(obs, &mut self.scratch);
         }
         self.drain_scratch();
+    }
+
+    /// Feeds a whole delivery round's received messages in arrival order.
+    ///
+    /// Equivalent to calling [`observe_beacon`](Self::observe_beacon) /
+    /// [`observe_control`](Self::observe_control) per element — the
+    /// detectors' stateful per-sender tracks see the identical interleaved
+    /// stream — but lets the caller accumulate observations into one
+    /// reusable buffer per simulation step and hand them over in a single
+    /// batched call.
+    pub fn ingest_messages(&mut self, batch: &[MessageObservation]) {
+        for obs in batch {
+            match obs {
+                MessageObservation::Beacon(b) => self.observe_beacon(b),
+                MessageObservation::Control(c) => self.observe_control(c),
+            }
+        }
     }
 
     /// Feeds one on-board sensor cross-check sample.

@@ -160,7 +160,7 @@ impl Attack for JoinerAgent {
                     origin,
                     power_dbm: world.medium.dsrc.default_tx_power_dbm,
                     channel: ChannelKind::Dsrc,
-                    payload: self.seal(&beacon).encode(),
+                    payload: self.seal(&beacon).encode().into(),
                 });
             }
             return;
@@ -185,7 +185,7 @@ impl Attack for JoinerAgent {
             origin,
             power_dbm: world.medium.dsrc.default_tx_power_dbm,
             channel: ChannelKind::Dsrc,
-            payload: self.seal(&msg).encode(),
+            payload: self.seal(&msg).encode().into(),
         });
     }
 

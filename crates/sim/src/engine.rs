@@ -21,6 +21,7 @@ use crate::attack::Attack;
 use crate::defense::{Defense, RejectReason};
 use crate::events::{Event, EventLog};
 use crate::metrics::{score_alerts, DetectionSummary, MetricsCollector, RunSummary, TruthLabels};
+use crate::perf::PerfCounters;
 use crate::scenario::{AuthMode, CommsMode, ControllerKind, Scenario};
 use crate::world::{AuthMaterial, CommState, HeardPeer, Rsu, VehicleNode, World};
 use platoon_crypto::cert::{CertificateAuthority, PrincipalId};
@@ -28,8 +29,8 @@ use platoon_crypto::keys::{KeyPair, SymmetricKey};
 use platoon_crypto::signature::Signer;
 use platoon_detect::fusion::{Alert, AlertTarget};
 use platoon_detect::observation::{
-    AuthMeta, BeaconClaim, BeaconObservation, ControlKind, ControlObservation, ObserverContext,
-    SensorObservation, TickContext,
+    AuthMeta, BeaconClaim, BeaconObservation, ControlKind, ControlObservation, MessageObservation,
+    ObserverContext, SensorObservation, TickContext,
 };
 use platoon_detect::pipeline::Pipeline;
 use platoon_dynamics::acc::AccController;
@@ -47,10 +48,10 @@ use platoon_proto::maneuver::{JoinOutcome, ManeuverEngine};
 use platoon_proto::membership::Roster;
 use platoon_proto::messages::{Beacon, PlatoonId, PlatoonMessage, Role};
 use platoon_v2x::medium::Receiver;
-use platoon_v2x::message::{ChannelKind, Delivery, Frame, NodeId};
+use platoon_v2x::message::{ChannelKind, Delivery, Frame, NodeId, Payload};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Salt for deriving the trusted authority's key pair from the scenario seed.
 const CA_SEED_SALT: u64 = 0xCA00_0000_0000_0001;
@@ -58,6 +59,37 @@ const CA_SEED_SALT: u64 = 0xCA00_0000_0000_0001;
 /// How close (metres) a joiner's claimed position must be to its reserved
 /// slot for the leader to consider the merge physically complete.
 const JOIN_ARRIVAL_TOLERANCE: f64 = 30.0;
+
+/// Reusable per-step scratch buffers.
+///
+/// The engine's hot loop builds the same transient collections every
+/// communication step (outgoing frames, the receiver roster, detector
+/// observation batches, dedup sets, the command vector). Allocating them
+/// once and clearing them per tick keeps the steady-state step free of
+/// heap churn; each buffer is `mem::take`n for the duration of the phase
+/// that fills it, so the split borrows stay trivial.
+#[derive(Debug, Default)]
+struct StepScratch {
+    /// Outgoing frames handed to the medium.
+    frames: Vec<Frame>,
+    /// Nodes able to receive this step.
+    receivers: Vec<Receiver>,
+    /// This step's accepted message observations, in arrival order, for
+    /// one batched detector ingest per delivery round.
+    observations: Vec<MessageObservation>,
+    /// VLC relay staging: (vehicle index, relayed wire bytes).
+    relays: Vec<(usize, Payload)>,
+    /// Silence-monitoring member roster.
+    members: Vec<PrincipalId>,
+    /// Operational observer indices.
+    observers: Vec<usize>,
+    /// Controller commands.
+    commands: Vec<f64>,
+    /// PDR dedup: (sender, receiver) pairs already counted this step.
+    seen_pairs: HashSet<(NodeId, NodeId)>,
+    /// Protocol dedup: (receiver, payload hash) already applied this step.
+    seen_payloads: HashSet<(usize, u64)>,
+}
 
 /// The simulation engine.
 #[derive(Debug)]
@@ -89,6 +121,10 @@ pub struct Engine {
     steps_run: u64,
     /// Previous step's service state, for edge-triggered outage events.
     service_was_down: Vec<bool>,
+    /// Reusable per-step buffers (see [`StepScratch`]).
+    scratch: StepScratch,
+    /// Deterministic work counters (see [`crate::perf`]).
+    perf: PerfCounters,
 }
 
 impl Engine {
@@ -204,6 +240,8 @@ impl Engine {
             next_platoon_id: 2,
             steps_run: 0,
             service_was_down: vec![false; n],
+            scratch: StepScratch::default(),
+            perf: PerfCounters::default(),
             scenario,
         }
     }
@@ -317,6 +355,11 @@ impl Engine {
     /// The metric collector.
     pub fn metrics(&self) -> &MetricsCollector {
         &self.metrics
+    }
+
+    /// The deterministic work counters accumulated so far.
+    pub fn perf(&self) -> &PerfCounters {
+        &self.perf
     }
 
     /// Rotates the platoon group key, excluding the listed principals from
@@ -450,8 +493,11 @@ impl Engine {
             attack.before_comm(&mut self.world, &mut self.rng);
         }
 
-        // Phase 2: honest transmissions.
-        let mut frames = self.build_outgoing_frames(now);
+        // Phase 2: honest transmissions. The frame buffer is reused across
+        // steps (capacity survives the clear).
+        let mut frames = std::mem::take(&mut self.scratch.frames);
+        frames.clear();
+        self.build_outgoing_frames(now, &mut frames);
         for v in self.world.vehicles.iter() {
             if v.platooning_enabled {
                 self.metrics.links.record_offer(v.node);
@@ -461,23 +507,32 @@ impl Engine {
             attack.on_air(&mut self.world, &mut self.rng, &mut frames);
         }
 
-        let mut receivers: Vec<Receiver> = self
-            .world
-            .vehicles
-            .iter()
-            .filter(|v| v.platooning_enabled)
-            .map(|v| Receiver {
-                id: v.node,
-                position: v.position(),
-            })
-            .collect();
+        let mut receivers = std::mem::take(&mut self.scratch.receivers);
+        receivers.clear();
+        receivers.extend(
+            self.world
+                .vehicles
+                .iter()
+                .filter(|v| v.platooning_enabled)
+                .map(|v| Receiver {
+                    id: v.node,
+                    position: v.position(),
+                }),
+        );
         receivers.extend(self.world.rsus.iter().map(|r| Receiver {
             id: r.node,
             position: r.position,
         }));
         for attack in self.attacks.iter() {
             if let Some(rx) = attack.receiver(&self.world) {
-                receivers.push(rx);
+                // Deduplicate delivery targets: a duplicate id (two attacks
+                // sharing an attacker node, or an eavesdropper colliding
+                // with a vehicle/RSU id) would make the medium decode every
+                // frame once per roster entry, double-counting the
+                // eavesdropper's capture and the detector ingest.
+                if receivers.iter().all(|r| r.id != rx.id) {
+                    receivers.push(rx);
+                }
             }
         }
 
@@ -490,6 +545,10 @@ impl Engine {
             attack.observe(&mut self.world, &mut self.rng, &deliveries);
         }
 
+        // Return the buffers (keeping their capacity) before phase 3.
+        self.scratch.frames = frames;
+        self.scratch.receivers = receivers;
+
         // Phase 3: reception and protocol processing.
         self.process_deliveries(&deliveries, now);
 
@@ -500,13 +559,15 @@ impl Engine {
         self.mirror_pending_gaps(now);
 
         // Phase 4: control.
-        let mut commands = self.compute_commands(now);
+        let mut commands = std::mem::take(&mut self.scratch.commands);
+        self.compute_commands(now, &mut commands);
         for defense in self.defenses.iter_mut() {
             defense.adjust_commands(&self.world, &mut commands);
         }
         for (v, u) in self.world.vehicles.iter_mut().zip(commands.iter()) {
             v.vehicle.set_command(*u);
         }
+        self.scratch.commands = commands;
 
         // Detection pass.
         for defense in self.defenses.iter_mut() {
@@ -527,6 +588,7 @@ impl Engine {
 
         self.world.time = now + self.scenario.comm_step;
         self.steps_run += 1;
+        self.perf.ticks += 1;
     }
 
     /// Seals a message according to the vehicle's credential material.
@@ -571,10 +633,18 @@ impl Engine {
         }
     }
 
-    fn build_outgoing_frames(&mut self, now: f64) -> Vec<Frame> {
+    /// Fills `frames` with this step's honest transmissions. Each sealed
+    /// envelope is encoded exactly once; the hybrid-channel copy and any
+    /// VLC relay share the encoded bytes ([`Payload`] is `Arc`-backed, so
+    /// a clone is a refcount bump, not a byte copy).
+    fn build_outgoing_frames(&mut self, now: f64, frames: &mut Vec<Frame>) {
         let comms = self.scenario.comms;
         let power = self.world.medium.dsrc.default_tx_power_dbm;
-        let mut frames = Vec::new();
+        let hybrid_channel = match comms {
+            CommsMode::DsrcOnly => None,
+            CommsMode::HybridVlc => Some(ChannelKind::Vlc),
+            CommsMode::HybridCv2x => Some(ChannelKind::CV2x),
+        };
 
         // Beacons from every operational vehicle.
         for v in self.world.vehicles.iter_mut() {
@@ -583,7 +653,10 @@ impl Engine {
             }
             let beacon = Self::beacon_for(v, now, &mut self.rng);
             let env = Self::seal(v, &PlatoonMessage::Beacon(beacon));
-            let payload = env.encode();
+            let payload: Payload = env.encode().into();
+            self.perf.bytes_encoded += payload.len() as u64;
+            self.perf.frames_built += 1;
+            self.perf.frame_bytes += payload.len() as u64;
             frames.push(Frame {
                 sender: v.node,
                 origin: v.position(),
@@ -591,45 +664,46 @@ impl Engine {
                 channel: ChannelKind::Dsrc,
                 payload: payload.clone(),
             });
-            match comms {
-                CommsMode::DsrcOnly => {}
-                CommsMode::HybridVlc => frames.push(Frame {
+            if let Some(channel) = hybrid_channel {
+                self.perf.frames_built += 1;
+                self.perf.frame_bytes += payload.len() as u64;
+                self.perf.payload_clones_avoided += 1;
+                frames.push(Frame {
                     sender: v.node,
                     origin: v.position(),
                     power_dbm: power,
-                    channel: ChannelKind::Vlc,
-                    payload: payload.clone(),
-                }),
-                CommsMode::HybridCv2x => frames.push(Frame {
-                    sender: v.node,
-                    origin: v.position(),
-                    power_dbm: power,
-                    channel: ChannelKind::CV2x,
-                    payload: payload.clone(),
-                }),
+                    channel,
+                    payload,
+                });
             }
         }
 
         // SP-VLC hop-by-hop relaying: each member forwards the freshest
         // leader beacon it holds down the optical chain, so leader data
-        // survives RF jamming one hop at a time (Ucar et al. [2]).
+        // survives RF jamming one hop at a time (Ucar et al. [2]). The
+        // relayed frame shares the stored wire image.
         if comms == CommsMode::HybridVlc {
-            let relays: Vec<(usize, Vec<u8>)> = self
-                .world
-                .vehicles
-                .iter()
-                .enumerate()
-                .filter(|(_, v)| v.platooning_enabled)
-                .filter_map(|(i, v)| {
-                    let heard = v.comm.leader.as_ref()?;
-                    if now - heard.heard_at > 0.3 {
-                        return None;
-                    }
-                    Some((i, v.comm.leader_envelope.clone()?))
-                })
-                .collect();
-            for (idx, payload) in relays {
+            let mut relays = std::mem::take(&mut self.scratch.relays);
+            relays.clear();
+            relays.extend(
+                self.world
+                    .vehicles
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| v.platooning_enabled)
+                    .filter_map(|(i, v)| {
+                        let heard = v.comm.leader.as_ref()?;
+                        if now - heard.heard_at > 0.3 {
+                            return None;
+                        }
+                        Some((i, v.comm.leader_envelope.clone()?))
+                    }),
+            );
+            for (idx, payload) in relays.drain(..) {
                 let v = &self.world.vehicles[idx];
+                self.perf.frames_built += 1;
+                self.perf.frame_bytes += payload.len() as u64;
+                self.perf.payload_clones_avoided += 1;
                 frames.push(Frame {
                     sender: v.node,
                     origin: v.position(),
@@ -638,6 +712,7 @@ impl Engine {
                     payload,
                 });
             }
+            self.scratch.relays = relays;
         }
 
         // Queued manoeuvre responses / commands.
@@ -651,7 +726,10 @@ impl Engine {
             }
             let env = Self::seal(&mut self.world.vehicles[idx], &msg);
             let v = &self.world.vehicles[idx];
-            let payload = env.encode();
+            let payload: Payload = env.encode().into();
+            self.perf.bytes_encoded += payload.len() as u64;
+            self.perf.frames_built += 1;
+            self.perf.frame_bytes += payload.len() as u64;
             frames.push(Frame {
                 sender: v.node,
                 origin: v.position(),
@@ -659,25 +737,19 @@ impl Engine {
                 channel: ChannelKind::Dsrc,
                 payload: payload.clone(),
             });
-            if comms == CommsMode::HybridVlc {
+            if let Some(channel) = hybrid_channel {
+                self.perf.frames_built += 1;
+                self.perf.frame_bytes += payload.len() as u64;
+                self.perf.payload_clones_avoided += 1;
                 frames.push(Frame {
                     sender: v.node,
                     origin: v.position(),
                     power_dbm: power,
-                    channel: ChannelKind::Vlc,
-                    payload,
-                });
-            } else if comms == CommsMode::HybridCv2x {
-                frames.push(Frame {
-                    sender: v.node,
-                    origin: v.position(),
-                    power_dbm: power,
-                    channel: ChannelKind::CV2x,
+                    channel,
                     payload,
                 });
             }
         }
-        frames
     }
 
     /// Engine-level authentication per the deployed key scheme.
@@ -703,14 +775,25 @@ impl Engine {
     }
 
     fn process_deliveries(&mut self, deliveries: &[Delivery], now: f64) {
+        self.perf.deliveries += deliveries.len() as u64;
         // PDR accounting: count at most one delivery per (sender, receiver)
         // pair per step so hybrid duplicates do not inflate the ratio.
-        let mut seen_pairs = std::collections::HashSet::new();
+        let mut seen_pairs = std::mem::take(&mut self.scratch.seen_pairs);
+        seen_pairs.clear();
         // Protocol dedup: in hybrid modes the same payload arrives on two
         // channels; apply it once per receiver per step so counters (e.g.
         // join-request statistics) are not inflated. Defenses still see
         // every copy via filter_rx (the hybrid cross-validator needs both).
-        let mut seen_payloads = std::collections::HashSet::new();
+        let mut seen_payloads = std::mem::take(&mut self.scratch.seen_payloads);
+        seen_payloads.clear();
+        // Accepted message observations accumulate here in arrival order
+        // and are handed to the detection pipeline in one batched ingest
+        // after the loop. The constructed observations depend only on
+        // state `apply_message` does not touch (true kinematics, rosters
+        // of principals, the radio config), so batching preserves the
+        // exact per-delivery stream the detectors saw before.
+        let mut observations = std::mem::take(&mut self.scratch.observations);
+        observations.clear();
         for delivery in deliveries {
             let Some(rx_idx) = self.world.index_of_node(delivery.receiver) else {
                 continue; // RSU or attacker receiver; vehicles only here.
@@ -770,24 +853,37 @@ impl Engine {
             if !seen_payloads.insert(payload_key) {
                 continue; // duplicate channel copy already applied
             }
-            if let Some(pipeline) = self.pipeline.as_mut() {
-                Self::feed_pipeline(pipeline, &self.world, rx_idx, delivery, &env, &msg, now);
+            if self.pipeline.is_some() {
+                observations.push(Self::build_observation(
+                    &self.world,
+                    rx_idx,
+                    delivery,
+                    &env,
+                    &msg,
+                    now,
+                ));
             }
             self.apply_message(rx_idx, env.sender, &env, msg, now);
         }
+        self.perf.detector_observations += observations.len() as u64;
+        if let Some(pipeline) = self.pipeline.as_mut() {
+            pipeline.ingest_messages(&observations);
+        }
+        self.scratch.seen_pairs = seen_pairs;
+        self.scratch.seen_payloads = seen_payloads;
+        self.scratch.observations = observations;
     }
 
     /// Translates one accepted delivery into the observation the receiver's
-    /// on-board IDS would see, and feeds it to the detection pipeline.
-    fn feed_pipeline(
-        pipeline: &mut Pipeline,
+    /// on-board IDS would see.
+    fn build_observation(
         world: &World,
         rx_idx: usize,
         delivery: &Delivery,
         env: &Envelope,
         msg: &PlatoonMessage,
         now: f64,
-    ) {
+    ) -> MessageObservation {
         use platoon_proto::envelope::AuthScheme;
         let auth = match &env.auth {
             AuthScheme::Plain => AuthMeta::Plain,
@@ -844,7 +940,7 @@ impl Engine {
             colocation_conflict,
         };
         match msg {
-            PlatoonMessage::Beacon(b) => pipeline.observe_beacon(&BeaconObservation {
+            PlatoonMessage::Beacon(b) => MessageObservation::Beacon(BeaconObservation {
                 time: now,
                 sender: env.sender,
                 claim: BeaconClaim {
@@ -870,7 +966,7 @@ impl Engine {
                     PlatoonMessage::GapOpen { .. } => ControlKind::GapOpen,
                     _ => ControlKind::Other,
                 };
-                pipeline.observe_control(&ControlObservation {
+                MessageObservation::Control(ControlObservation {
                     time: now,
                     sender: env.sender,
                     kind,
@@ -879,7 +975,7 @@ impl Engine {
                     channel: delivery.channel,
                     auth,
                     ctx,
-                });
+                })
             }
         }
     }
@@ -908,6 +1004,7 @@ impl Engine {
                 .measure(true_gap, true_rate, now, &mut self.rng);
             let lidar = v.sensors.lidar.measure(true_gap, now, &mut self.rng);
             if let (Some((radar_range, _)), Some(lidar_range)) = (radar, lidar) {
+                self.perf.detector_observations += 1;
                 pipeline.observe_sensors(&SensorObservation {
                     time: now,
                     observer: idx,
@@ -919,21 +1016,28 @@ impl Engine {
         }
         // Silence monitoring: every vehicle is *expected* to beacon; only
         // operational vehicles observe.
-        let members: Vec<PrincipalId> = self.world.vehicles.iter().map(|v| v.principal).collect();
-        let observers: Vec<usize> = self
-            .world
-            .vehicles
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.platooning_enabled)
-            .map(|(i, _)| i)
-            .collect();
+        let mut members = std::mem::take(&mut self.scratch.members);
+        members.clear();
+        members.extend(self.world.vehicles.iter().map(|v| v.principal));
+        let mut observers = std::mem::take(&mut self.scratch.observers);
+        observers.clear();
+        observers.extend(
+            self.world
+                .vehicles
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| v.platooning_enabled)
+                .map(|(i, _)| i),
+        );
+        self.perf.detector_observations += 1; // the per-step silence tick
         pipeline.tick(&TickContext {
             now,
             comm_step: self.scenario.comm_step,
             members: &members,
             observers: &observers,
         });
+        self.scratch.members = members;
+        self.scratch.observers = observers;
         for alert in pipeline.take_alerts() {
             self.detections += 1;
             match alert.target {
@@ -981,7 +1085,8 @@ impl Engine {
                         self.world.vehicles[rx_idx].comm.leader = Some(heard);
                         // The stored wire image only feeds VLC relaying.
                         if self.scenario.comms == CommsMode::HybridVlc {
-                            self.world.vehicles[rx_idx].comm.leader_envelope = Some(env.encode());
+                            self.world.vehicles[rx_idx].comm.leader_envelope =
+                                Some(env.encode().into());
                         }
                     }
                 }
@@ -1195,12 +1300,15 @@ impl Engine {
         );
     }
 
-    fn compute_commands(&mut self, now: f64) -> Vec<f64> {
+    /// Fills `commands` (cleared first) with one command per vehicle.
+    fn compute_commands(&mut self, now: f64, commands: &mut Vec<f64>) {
         let dt = self.scenario.comm_step;
         let profile = self.scenario.profile;
         let desired_gap = self.scenario.desired_gap;
         let n = self.world.vehicles.len();
-        let mut commands = vec![0.0; n];
+        commands.clear();
+        commands.resize(n, 0.0);
+        self.perf.commands_computed += n as u64;
 
         // Indexed loop on purpose: the body needs simultaneous &mut access
         // to `commands[idx]` and `self` (for contexts and controllers).
@@ -1232,7 +1340,6 @@ impl Engine {
                 commands[idx] = self.world.vehicles[idx].controller.command(&ctx);
             }
         }
-        commands
     }
 
     fn control_context(
@@ -1429,6 +1536,7 @@ impl Engine {
             rejected_messages: self.rejected_messages,
             detections: self.detections,
             mean_abs_spacing_error: mean_abs,
+            perf: self.perf,
         }
     }
 }

@@ -326,6 +326,7 @@ fn write_summary(w: &mut json::Writer, s: &RunSummary) {
     });
     w.field_u64("rejected_messages", s.rejected_messages as u64);
     w.field_u64("detections", s.detections as u64);
+    w.field_obj("perf", |w| s.perf.write_canonical(w));
 }
 
 pub mod json {
@@ -908,6 +909,41 @@ mod tests {
         let one = build().run_report(1).to_canonical_json();
         let many = build().run_report(4).to_canonical_json();
         assert_eq!(one, many, "harness output must be scheduling-independent");
+    }
+
+    #[test]
+    fn default_workers_is_always_usable() {
+        // `available_parallelism` may fail on exotic platforms; the fallback
+        // (4) and every successful probe are both valid pool widths. What
+        // callers rely on is only that the value can be handed straight to
+        // `Batch::run`.
+        let w = default_workers();
+        assert!(w >= 1, "worker count must be positive, got {w}");
+        let mut batch: Batch<u64> = Batch::new(3);
+        batch.push("probe", |seed| seed);
+        assert_eq!(batch.run(w).len(), 1);
+    }
+
+    #[test]
+    fn extreme_worker_counts_produce_identical_reports() {
+        let build = || {
+            let mut batch = Batch::new(13);
+            for n in [2usize, 3] {
+                batch.push_scenario(
+                    Scenario::builder()
+                        .label(format!("clamp/{n}"))
+                        .vehicles(n)
+                        .duration(2.0)
+                        .build(),
+                );
+            }
+            batch
+        };
+        let reference = build().run_report(2).to_canonical_json();
+        // workers = 0 is clamped to one thread rather than deadlocking.
+        assert_eq!(build().run_report(0).to_canonical_json(), reference);
+        // More workers than jobs: the surplus threads find nothing to do.
+        assert_eq!(build().run_report(64).to_canonical_json(), reference);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod engine;
 pub mod events;
 pub mod harness;
 pub mod metrics;
+pub mod perf;
 pub mod scenario;
 pub mod world;
 
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use crate::metrics::{
         score_alerts, DetectionSummary, MetricsCollector, RunSummary, TruthLabels,
     };
+    pub use crate::perf::PerfCounters;
     pub use crate::scenario::{AuthMode, CommsMode, ControllerKind, Scenario, ScenarioBuilder};
     pub use crate::world::{
         AuthMaterial, BeaconLie, CommState, HeardPeer, Rsu, VehicleNode, World,
@@ -99,6 +101,71 @@ mod tests {
             s.leader_tail_pdr
         );
         assert_eq!(s.fragmented_fraction, 0.0);
+    }
+
+    /// A passive listener counting the deliveries its registered receiver
+    /// overhears (regression scaffolding for delivery-target dedup).
+    #[derive(Debug)]
+    struct CountingEar {
+        id: platoon_v2x::message::NodeId,
+        heard: usize,
+    }
+
+    impl Attack for CountingEar {
+        fn name(&self) -> &'static str {
+            "counting-ear"
+        }
+        fn attribute(&self) -> SecurityAttribute {
+            SecurityAttribute::Confidentiality
+        }
+        fn receiver(&self, _world: &World) -> Option<platoon_v2x::medium::Receiver> {
+            Some(platoon_v2x::medium::Receiver {
+                id: self.id,
+                position: (60.0, 3.0),
+            })
+        }
+        fn observe(
+            &mut self,
+            _world: &mut World,
+            _rng: &mut rand::rngs::StdRng,
+            deliveries: &[platoon_v2x::message::Delivery],
+        ) {
+            self.heard += deliveries.iter().filter(|d| d.receiver == self.id).count();
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn duplicate_attack_receivers_are_deduplicated() {
+        // Two attacks registering the same receiver id used to put the node
+        // on the medium's delivery roster twice, so every frame in range was
+        // delivered (and counted, and fed to observers) twice. The engine
+        // now drops the duplicate registration.
+        let ear_id = platoon_v2x::message::NodeId(4242);
+        let run_with_ears = |ears: usize| {
+            let mut engine = Engine::new(quick("dedup"));
+            for _ in 0..ears {
+                engine.add_attack(Box::new(CountingEar {
+                    id: ear_id,
+                    heard: 0,
+                }));
+            }
+            engine.run();
+            engine.attacks()[0]
+                .as_any()
+                .downcast_ref::<CountingEar>()
+                .expect("first attack is the ear")
+                .heard
+        };
+        let single = run_with_ears(1);
+        let double = run_with_ears(2);
+        assert!(single > 0, "the ear overhears platoon traffic");
+        assert_eq!(
+            single, double,
+            "a colliding second registration must not duplicate deliveries"
+        );
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! including detection-quality scoring of the alert stream against
 //! ground-truth attack labels.
 
+use crate::perf::PerfCounters;
 use platoon_crypto::cert::PrincipalId;
 use platoon_detect::fusion::{Alert, AlertTarget};
 use platoon_dynamics::safety::SafetyMonitor;
@@ -125,6 +126,8 @@ pub struct RunSummary {
     pub detections: usize,
     /// Mean absolute spacing error, metres.
     pub mean_abs_spacing_error: f64,
+    /// Deterministic engine work counters (see [`crate::perf`]).
+    pub perf: PerfCounters,
 }
 
 impl RunSummary {
@@ -350,6 +353,7 @@ mod tests {
             rejected_messages: 0,
             detections: 0,
             mean_abs_spacing_error: 0.0,
+            perf: PerfCounters::default(),
         };
         let line = s.one_line();
         assert!(line.contains("degenerate"));

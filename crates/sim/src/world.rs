@@ -11,7 +11,7 @@ use platoon_dynamics::vehicle::Vehicle;
 use platoon_proto::messages::{PlatoonId, Role};
 use platoon_v2x::jamming::Jammer;
 use platoon_v2x::medium::RadioMedium;
-use platoon_v2x::message::{NodeId, Position};
+use platoon_v2x::message::{NodeId, Payload, Position};
 
 /// Credential material a vehicle uses to seal outgoing messages.
 #[derive(Clone, Debug)]
@@ -52,8 +52,8 @@ pub struct CommState {
     /// Wire bytes of the last accepted leader beacon, kept for hop-by-hop
     /// VLC relaying (SP-VLC forwards the leader's message down the optical
     /// chain; the signature inside stays valid because the bytes are
-    /// verbatim).
-    pub leader_envelope: Option<Vec<u8>>,
+    /// verbatim). Shared, so relay frames clone it for free.
+    pub leader_envelope: Option<Payload>,
 }
 
 impl CommState {

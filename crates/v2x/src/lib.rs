@@ -32,7 +32,7 @@
 //!     origin: (0.0, 0.0),
 //!     power_dbm: 20.0,
 //!     channel: ChannelKind::Dsrc,
-//!     payload: b"beacon".to_vec(),
+//!     payload: b"beacon".to_vec().into(),
 //! };
 //! let receivers = vec![Receiver { id: NodeId(1), position: (15.0, 0.0) }];
 //! let (deliveries, stats) = medium.step(0.0, &[frame], &receivers, &[], &mut rng);
@@ -55,7 +55,7 @@ pub mod prelude {
     pub use crate::channel::{dbm_to_mw, mw_to_dbm, DsrcPhy};
     pub use crate::jamming::{Jammer, JammingStrategy};
     pub use crate::medium::{RadioMedium, Receiver, StepStats};
-    pub use crate::message::{distance, ChannelKind, Delivery, Frame, NodeId, Position};
+    pub use crate::message::{distance, ChannelKind, Delivery, Frame, NodeId, Payload, Position};
     pub use crate::stats::{BeaconAgeTracker, LinkStats};
     pub use crate::vlc::VlcPhy;
 }
@@ -79,7 +79,7 @@ mod proptests {
                 origin: (i as f64 * 20.0, 0.0),
                 power_dbm: 20.0,
                 channel: ChannelKind::Dsrc,
-                payload: vec![0; 50],
+                payload: vec![0u8; 50].into(),
             }).collect();
             let receivers: Vec<Receiver> = (0..n_rx).map(|i| Receiver {
                 id: NodeId(i as u64),

@@ -299,7 +299,7 @@ mod tests {
             origin: (x, 0.0),
             power_dbm: 20.0,
             channel,
-            payload: vec![sender as u8; 60],
+            payload: vec![sender as u8; 60].into(),
         }
     }
 

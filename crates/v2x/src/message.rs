@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a radio node (vehicle OBU, RSU, or attacker device).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -55,6 +56,79 @@ impl fmt::Display for ChannelKind {
     }
 }
 
+/// Immutable, cheaply cloneable payload bytes.
+///
+/// Broadcast fans one encoded message out to every receiver (and, in hybrid
+/// comms modes, onto several channels), so the bytes are reference-counted
+/// (`Arc<[u8]>`) rather than copied per frame and per delivery. Cloning a
+/// [`Payload`] — and therefore a [`Frame`] or [`Delivery`] — is a refcount
+/// bump, not a byte copy. The type dereferences to `&[u8]`, so existing
+/// slice-based consumers (codecs, hash functions) work unchanged.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// The payload bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Number of payload bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// How many handles (frames, deliveries, caches) currently share these
+    /// bytes. 1 means this is the only copy.
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+impl std::ops::Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(bytes: Vec<u8>) -> Self {
+        Payload(bytes.into())
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(bytes: &[u8]) -> Self {
+        Payload(bytes.into())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(bytes: [u8; N]) -> Self {
+        Payload(bytes.as_slice().into())
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} bytes)", self.0.len())
+    }
+}
+
 /// A frame handed to the medium for broadcast.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Frame {
@@ -67,7 +141,7 @@ pub struct Frame {
     /// Channel the frame is sent on.
     pub channel: ChannelKind,
     /// Opaque payload bytes (already encoded and, if applicable, signed).
-    pub payload: Vec<u8>,
+    pub payload: Payload,
 }
 
 impl Frame {
@@ -97,8 +171,8 @@ pub struct Delivery {
     pub latency: f64,
     /// Received signal strength in dBm (what key-agreement probing reads).
     pub rssi_dbm: f64,
-    /// The payload bytes.
-    pub payload: Vec<u8>,
+    /// The payload bytes (shared with the originating [`Frame`]).
+    pub payload: Payload,
 }
 
 #[cfg(test)]
@@ -118,10 +192,10 @@ mod tests {
             origin: (0.0, 0.0),
             power_dbm: 20.0,
             channel: ChannelKind::Dsrc,
-            payload: vec![0; 100],
+            payload: vec![0u8; 100].into(),
         };
         let large = Frame {
-            payload: vec![0; 1000],
+            payload: vec![0u8; 1000].into(),
             ..small.clone()
         };
         let rate = 6e6;
@@ -138,7 +212,7 @@ mod tests {
             origin: (0.0, 0.0),
             power_dbm: 20.0,
             channel: ChannelKind::Dsrc,
-            payload: vec![],
+            payload: Vec::<u8>::new().into(),
         };
         f.airtime(0.0);
     }

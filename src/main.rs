@@ -1,0 +1,29 @@
+//! The workspace's front-door binary.
+//!
+//! ```text
+//! cargo run --release -- perf --quick      # perf grid → BENCH_quick.json
+//! cargo run --release -- perf --help       # all perf options
+//! ```
+//!
+//! The full table/figure report stays with the bench crate
+//! (`cargo run --release -p platoon-bench --bin report`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("perf") => std::process::exit(platoon_core::perf::cli_main(&args[1..])),
+        Some("--help") | Some("-h") | None => {
+            eprintln!(
+                "usage: platoon-security <command>\n\
+                 \x20 perf [options]   run the perf grid and write BENCH_<label>.json\n\
+                 \x20                  (see `perf --help`)\n\
+                 For tables and figures: cargo run --release -p platoon-bench --bin report"
+            );
+            std::process::exit(if args.is_empty() { 2 } else { 0 });
+        }
+        Some(other) => {
+            eprintln!("error: unknown command `{other}` (try --help)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -121,7 +121,7 @@ fn member_leave_request_is_processed() {
                 origin: v.position(),
                 power_dbm: world.medium.dsrc.default_tx_power_dbm,
                 channel: ChannelKind::Dsrc,
-                payload: Envelope::plain(v.principal, &msg).encode(),
+                payload: Envelope::plain(v.principal, &msg).encode().into(),
             });
         }
         fn as_any(&self) -> &dyn Any {
