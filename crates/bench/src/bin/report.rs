@@ -1,10 +1,11 @@
 //! Regenerates every table and figure of the reproduction, and hosts the
-//! perf subcommand.
+//! perf and robustness subcommands.
 //!
 //! ```text
 //! cargo run --release -p platoon-bench --bin report           # full effort
 //! cargo run --release -p platoon-bench --bin report -- --quick
 //! cargo run --release -p platoon-bench --bin report -- perf --quick
+//! cargo run --release -p platoon-bench --bin report -- robustness --quick
 //! ```
 
 fn main() {
@@ -12,14 +13,20 @@ fn main() {
     if args.first().map(String::as_str) == Some("perf") {
         std::process::exit(platoon_core::perf::cli_main(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("robustness") {
+        std::process::exit(platoon_core::experiments::robustness::cli_main(&args[1..]));
+    }
     let mut quick = false;
     for arg in &args {
         match arg.as_str() {
             "--quick" => quick = true,
             "--help" | "-h" => {
-                eprintln!("usage: report [--quick] | report perf [options]");
-                eprintln!("  --quick   shorter runs and fewer sweep points");
-                eprintln!("  perf      the perf grid (see `report perf --help`)");
+                eprintln!(
+                    "usage: report [--quick] | report perf [options] | report robustness [options]"
+                );
+                eprintln!("  --quick      shorter runs and fewer sweep points");
+                eprintln!("  perf         the perf grid (see `report perf --help`)");
+                eprintln!("  robustness   detection quality under benign faults (see `report robustness --help`)");
                 return;
             }
             other => {

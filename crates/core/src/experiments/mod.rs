@@ -9,6 +9,7 @@ pub mod ablations;
 pub mod common;
 pub mod figures;
 pub mod privacy;
+pub mod robustness;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -1,0 +1,53 @@
+//! Activity windows for scheduled faults.
+
+/// A half-open activity interval `[start, end)` in simulation seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultWindow {
+    /// First instant (inclusive) the fault is active.
+    pub start: f64,
+    /// First instant (exclusive) the fault is no longer active.
+    pub end: f64,
+}
+
+impl FaultWindow {
+    /// Creates a window; `end` is clamped to at least `start`.
+    pub fn new(start: f64, end: f64) -> Self {
+        FaultWindow {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Window length in seconds.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Whether any window in a schedule covers `t`.
+pub(crate) fn any_active(windows: &[FaultWindow], t: f64) -> bool {
+    windows.iter().any(|w| w.contains(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_half_open_and_clamped() {
+        let w = FaultWindow::new(2.0, 5.0);
+        assert!(!w.contains(1.999));
+        assert!(w.contains(2.0));
+        assert!(w.contains(4.999));
+        assert!(!w.contains(5.0));
+        assert_eq!(w.duration(), 3.0);
+        let degenerate = FaultWindow::new(4.0, 1.0);
+        assert_eq!(degenerate.duration(), 0.0, "end clamps to start");
+        assert!(!degenerate.contains(4.0));
+    }
+}

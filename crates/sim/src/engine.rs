@@ -20,6 +20,7 @@
 use crate::attack::Attack;
 use crate::defense::{Defense, RejectReason};
 use crate::events::{Event, EventLog};
+use crate::fault::Fault;
 use crate::metrics::{score_alerts, DetectionSummary, MetricsCollector, RunSummary, TruthLabels};
 use crate::perf::PerfCounters;
 use crate::scenario::{AuthMode, CommsMode, ControllerKind, Scenario};
@@ -101,6 +102,7 @@ pub struct Engine {
     maneuvers: ManeuverEngine,
     attacks: Vec<Box<dyn Attack>>,
     defenses: Vec<Box<dyn Defense>>,
+    faults: Vec<Box<dyn Fault>>,
     metrics: MetricsCollector,
     events: EventLog,
     rng: StdRng,
@@ -228,6 +230,7 @@ impl Engine {
             maneuvers,
             attacks: Vec::new(),
             defenses: Vec::new(),
+            faults: Vec::new(),
             metrics,
             events: EventLog::default(),
             rng,
@@ -259,6 +262,11 @@ impl Engine {
     /// Plugs in a security mechanism.
     pub fn add_defense(&mut self, defense: Box<dyn Defense>) {
         self.defenses.push(defense);
+    }
+
+    /// Plugs in a benign fault (see [`crate::fault`]).
+    pub fn add_fault(&mut self, fault: Box<dyn Fault>) {
+        self.faults.push(fault);
     }
 
     /// The trusted authority (for provisioning defenses or attacker
@@ -306,6 +314,11 @@ impl Engine {
     /// Plugged-in defenses (for downcasting after a run).
     pub fn defenses(&self) -> &[Box<dyn Defense>] {
         &self.defenses
+    }
+
+    /// Plugged-in faults (for downcasting after a run).
+    pub fn faults(&self) -> &[Box<dyn Fault>] {
+        &self.faults
     }
 
     /// The event log.
@@ -481,12 +494,31 @@ impl Engine {
         for _ in 0..steps {
             self.step();
         }
+        self.restore_faults();
         self.summary()
+    }
+
+    /// Restores every plugged-in fault's saved state.
+    ///
+    /// [`run`](Self::run) calls this after the step loop so scoped faults
+    /// hand the world back unmodified even when a run ends mid-window;
+    /// manual steppers driving [`step`](Self::step) directly should call it
+    /// themselves once done. Idempotent.
+    pub fn restore_faults(&mut self) {
+        for fault in self.faults.iter_mut() {
+            fault.restore(&mut self.world);
+        }
     }
 
     /// Advances one communication step.
     pub fn step(&mut self) {
         let now = self.world.time;
+
+        // Phase 0: benign environment degradation (faults precede
+        // adversaries, so attacks act on the already-degraded world).
+        for fault in self.faults.iter_mut() {
+            fault.apply(&mut self.world, now);
+        }
 
         // Phase 1: adversary world mutation.
         for attack in self.attacks.iter_mut() {

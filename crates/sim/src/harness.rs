@@ -8,10 +8,12 @@
 //! * [`Batch`] — a queue of labelled jobs executed across a `std::thread`
 //!   worker pool. Each job receives a seed derived *only* from its label and
 //!   the batch base seed ([`derive_seed`]), so results are identical
-//!   regardless of worker count or scheduling order.
+//!   regardless of worker count or scheduling order. Jobs are crash-isolated:
+//!   a panicking (or, with [`Batch::set_job_budget`], hung) job becomes a
+//!   [`JobOutcome::Failed`] entry instead of taking down the batch.
 //! * [`BatchReport`] — the collected summaries in submission order, with a
 //!   canonical JSON rendering ([`BatchReport::to_canonical_json`]) that is
-//!   byte-for-byte reproducible.
+//!   byte-for-byte reproducible and records failed jobs explicitly.
 //! * [`golden`] — snapshot regression: compare a canonical JSON document
 //!   against a committed golden file with explicit per-value float
 //!   tolerances, refresh with `UPDATE_GOLDEN=1`, and fail with a readable
@@ -21,8 +23,10 @@
 //!   serialization is explicit and therefore stable by construction).
 
 use crate::metrics::RunSummary;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::{mpsc, Mutex, PoisonError};
+use std::time::Duration;
 
 /// Derives the per-job seed from the job label and the batch base seed.
 ///
@@ -83,6 +87,54 @@ pub struct BatchEntry<T> {
     pub value: T,
 }
 
+/// How one batch job ended.
+///
+/// [`Batch::run_outcomes`] wraps every job in `catch_unwind` (and, when a
+/// [wall-time budget](Batch::set_job_budget) is set, a watchdog), so a single
+/// crashing cell degrades to a `Failed` entry instead of poisoning the job
+/// queue and aborting the whole grid.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobOutcome<T> {
+    /// The job returned normally.
+    Ok(T),
+    /// The job panicked or blew its wall-time budget.
+    Failed {
+        /// Human-readable cause (panic message or budget diagnostics).
+        reason: String,
+    },
+}
+
+impl<T> JobOutcome<T> {
+    /// The value, if the job succeeded.
+    pub fn as_ok(&self) -> Option<&T> {
+        match self {
+            JobOutcome::Ok(v) => Some(v),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Consumes the outcome, yielding the value if the job succeeded.
+    pub fn into_ok(self) -> Option<T> {
+        match self {
+            JobOutcome::Ok(v) => Some(v),
+            JobOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The failure reason, if the job failed.
+    pub fn failure(&self) -> Option<&str> {
+        match self {
+            JobOutcome::Ok(_) => None,
+            JobOutcome::Failed { reason } => Some(reason),
+        }
+    }
+
+    /// Whether the job failed.
+    pub fn is_failed(&self) -> bool {
+        matches!(self, JobOutcome::Failed { .. })
+    }
+}
+
 /// A batch of labelled jobs executed on a worker pool.
 ///
 /// Generic over the job output so experiment drivers can return enriched
@@ -114,15 +166,29 @@ pub struct BatchEntry<T> {
 pub struct Batch<T> {
     base_seed: u64,
     jobs: Vec<BatchJob<T>>,
+    job_budget: Option<Duration>,
 }
 
-impl<T: Send> Batch<T> {
+impl<T: Send + 'static> Batch<T> {
     /// Creates an empty batch with the given base seed.
     pub fn new(base_seed: u64) -> Self {
         Batch {
             base_seed,
             jobs: Vec::new(),
+            job_budget: None,
         }
+    }
+
+    /// Caps each job's wall-clock time.
+    ///
+    /// An over-budget job is reported as [`JobOutcome::Failed`] and the rest
+    /// of the grid keeps running, so one hung cell cannot stall a batch.
+    /// Budgeted jobs run on a detached watchdog thread: a job that never
+    /// returns leaks its thread until process exit — the budget bounds grid
+    /// latency, not resource reclamation. Off by default (no behavior
+    /// change): results of *completing* jobs are identical either way.
+    pub fn set_job_budget(&mut self, budget: Duration) {
+        self.job_budget = Some(budget);
     }
 
     /// The batch base seed.
@@ -168,44 +234,81 @@ impl<T: Send> Batch<T> {
     /// Executes every job across `workers` threads and returns the entries
     /// in *submission order* (never completion order).
     ///
-    /// Work is handed out through an atomic cursor; each worker pops the
-    /// next unclaimed job, runs it with its derived seed, and sends the
-    /// result back tagged with its slot index. Because the seed depends only
-    /// on `(label, base_seed)` and results are re-slotted by index, the
-    /// returned vector is identical for any `workers >= 1`.
+    /// Strict façade over [`run_outcomes`](Self::run_outcomes): panics with
+    /// the offending label and reason if any job failed, which is what the
+    /// experiment drivers want (a measured table with silently missing cells
+    /// would be worse than an abort). Batches that must degrade gracefully —
+    /// the robustness grid, anything accepting injected crashes — call
+    /// `run_outcomes` instead.
     pub fn run(self, workers: usize) -> Vec<BatchEntry<T>> {
+        self.run_outcomes(workers)
+            .into_iter()
+            .map(|e| match e.value {
+                JobOutcome::Ok(value) => BatchEntry {
+                    label: e.label,
+                    seed: e.seed,
+                    value,
+                },
+                JobOutcome::Failed { reason } => {
+                    panic!("batch job {:?} failed: {reason}", e.label)
+                }
+            })
+            .collect()
+    }
+
+    /// Executes every job across `workers` threads with per-job crash
+    /// isolation, returning one [`JobOutcome`] entry per job in *submission
+    /// order* (never completion order).
+    ///
+    /// Work is handed out through an atomic cursor; each worker pops the
+    /// next unclaimed job, runs it (inside `catch_unwind`, plus a watchdog
+    /// when a [budget](Self::set_job_budget) is set) with its derived seed,
+    /// and sends the outcome back tagged with its slot index. Because the
+    /// seed depends only on `(label, base_seed)` and results are re-slotted
+    /// by index, the returned vector is identical for any `workers >= 1`.
+    ///
+    /// A panicking job yields `Failed { reason }` carrying the panic message;
+    /// every other job still runs and reports. Job-queue locks are taken
+    /// poison-tolerantly, and a slot whose result never arrives is
+    /// synthesized as `Failed` rather than aborting the collection — the
+    /// harness itself has no panic path left on the job's account.
+    pub fn run_outcomes(self, workers: usize) -> Vec<BatchEntry<JobOutcome<T>>> {
         let base_seed = self.base_seed;
+        let budget = self.job_budget;
         let n = self.jobs.len();
+        // Label + seed survive outside the job slots so a job whose result
+        // never arrives still yields a labelled Failed entry.
+        let meta: Vec<(String, u64)> = self
+            .jobs
+            .iter()
+            .map(|j| {
+                let seed = j.seed.unwrap_or_else(|| derive_seed(&j.label, base_seed));
+                (j.label.clone(), seed)
+            })
+            .collect();
         let jobs: Vec<Mutex<Option<BatchJob<T>>>> =
             self.jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
         let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, BatchEntry<T>)>();
+        let (tx, rx) = mpsc::channel::<(usize, JobOutcome<T>)>();
 
         std::thread::scope(|scope| {
             for _ in 0..workers.max(1).min(n.max(1)) {
                 let tx = tx.clone();
                 let jobs = &jobs;
                 let cursor = &cursor;
+                let meta = &meta;
                 scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= jobs.len() {
                         break;
                     }
-                    let job = jobs[i]
+                    let claimed = jobs[i]
                         .lock()
-                        .expect("job slot poisoned")
-                        .take()
-                        .expect("job claimed twice");
-                    let seed = job
-                        .seed
-                        .unwrap_or_else(|| derive_seed(&job.label, base_seed));
-                    let value = (job.run)(seed);
-                    let entry = BatchEntry {
-                        label: job.label,
-                        seed,
-                        value,
-                    };
-                    if tx.send((i, entry)).is_err() {
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .take();
+                    let Some(job) = claimed else { continue };
+                    let outcome = execute_job(job.run, meta[i].1, budget);
+                    if tx.send((i, outcome)).is_err() {
                         break;
                     }
                 });
@@ -213,15 +316,70 @@ impl<T: Send> Batch<T> {
         });
         drop(tx);
 
-        let mut slots: Vec<Option<BatchEntry<T>>> = (0..n).map(|_| None).collect();
-        for (i, entry) in rx {
-            slots[i] = Some(entry);
+        let mut slots: Vec<Option<JobOutcome<T>>> = (0..n).map(|_| None).collect();
+        for (i, outcome) in rx {
+            slots[i] = Some(outcome);
         }
         slots
             .into_iter()
-            .map(|s| s.expect("every job reports exactly once"))
+            .zip(meta)
+            .map(|(slot, (label, seed))| BatchEntry {
+                label,
+                seed,
+                value: slot.unwrap_or(JobOutcome::Failed {
+                    reason: "job never reported a result".into(),
+                }),
+            })
             .collect()
     }
+}
+
+/// Runs one job to a [`JobOutcome`]: `catch_unwind` converts a panic into
+/// `Failed`, and when `budget` is set the job runs on a detached watchdog
+/// thread so an over-budget cell times out instead of stalling its worker.
+fn execute_job<T: Send + 'static>(
+    run: Box<dyn FnOnce(u64) -> T + Send>,
+    seed: u64,
+    budget: Option<Duration>,
+) -> JobOutcome<T> {
+    let Some(limit) = budget else {
+        return match catch_unwind(AssertUnwindSafe(|| run(seed))) {
+            Ok(value) => JobOutcome::Ok(value),
+            Err(payload) => JobOutcome::Failed {
+                reason: format!("job panicked: {}", panic_message(payload.as_ref())),
+            },
+        };
+    };
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name("batch-job-watchdog".into())
+        .spawn(move || {
+            // A send into a receiver that already timed out is harmless.
+            let _ = tx.send(catch_unwind(AssertUnwindSafe(|| run(seed))));
+        });
+    if spawned.is_err() {
+        return JobOutcome::Failed {
+            reason: "could not spawn the job watchdog thread".into(),
+        };
+    }
+    match rx.recv_timeout(limit) {
+        Ok(Ok(value)) => JobOutcome::Ok(value),
+        Ok(Err(payload)) => JobOutcome::Failed {
+            reason: format!("job panicked: {}", panic_message(payload.as_ref())),
+        },
+        Err(_) => JobOutcome::Failed {
+            reason: format!("job exceeded its wall-time budget of {limit:?}"),
+        },
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 impl Batch<RunSummary> {
@@ -236,37 +394,60 @@ impl Batch<RunSummary> {
         });
     }
 
-    /// Runs the batch and wraps the summaries in a [`BatchReport`].
+    /// Runs the batch and wraps the outcomes in a [`BatchReport`].
+    ///
+    /// Failed jobs (panic / blown budget) do **not** abort the report — they
+    /// appear as failed entries and render as `"error"` objects in the
+    /// canonical JSON.
     pub fn run_report(self, workers: usize) -> BatchReport {
         let base_seed = self.base_seed;
         BatchReport {
             base_seed,
-            entries: self.run(workers),
+            entries: self.run_outcomes(workers),
         }
     }
 }
 
-/// A completed batch of [`RunSummary`]s in submission order.
+/// A completed batch of [`RunSummary`]s (or per-job failures) in submission
+/// order.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BatchReport {
     /// The batch base seed the per-job seeds were derived from.
     pub base_seed: u64,
     /// One entry per job, in submission order.
-    pub entries: Vec<BatchEntry<RunSummary>>,
+    pub entries: Vec<BatchEntry<JobOutcome<RunSummary>>>,
 }
 
 impl BatchReport {
     /// Looks an entry up by label.
-    pub fn entry(&self, label: &str) -> Option<&BatchEntry<RunSummary>> {
+    pub fn entry(&self, label: &str) -> Option<&BatchEntry<JobOutcome<RunSummary>>> {
         self.entries.iter().find(|e| e.label == label)
     }
 
-    /// The summary for a label, panicking with the label when missing.
+    /// The summary for a label, panicking with the label when the entry is
+    /// missing or the job failed.
     pub fn summary(&self, label: &str) -> &RunSummary {
-        &self
-            .entry(label)
+        self.entry(label)
             .unwrap_or_else(|| panic!("no batch entry labelled {label:?}"))
             .value
+            .as_ok()
+            .unwrap_or_else(|| panic!("batch entry {label:?} failed"))
+    }
+
+    /// Successful entries as `(entry, summary)` pairs, in submission order.
+    pub fn summaries(
+        &self,
+    ) -> impl Iterator<Item = (&BatchEntry<JobOutcome<RunSummary>>, &RunSummary)> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.value.as_ok().map(|s| (e, s)))
+    }
+
+    /// Failed entries as `(label, reason)` pairs, in submission order.
+    pub fn failures(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.value.failure().map(|r| (e.label.as_str(), r)))
     }
 
     /// Renders the report as canonical JSON: fixed field order, `{:?}`
@@ -274,6 +455,11 @@ impl BatchReport {
     /// strings `"inf"` / `"-inf"` / `"nan"`, two-space indentation. Byte
     /// stable for identical inputs, which is what the golden suite and the
     /// worker-count determinism guarantee rest on.
+    ///
+    /// Successful entries render exactly as they always have (`label`,
+    /// `seed`, `summary`), so goldens recorded before crash isolation remain
+    /// valid; a failed entry renders its reason under `"error"` instead of a
+    /// `"summary"` object.
     pub fn to_canonical_json(&self) -> String {
         let mut w = json::Writer::new();
         w.obj(|w| {
@@ -284,7 +470,14 @@ impl BatchReport {
                         w.obj(|w| {
                             w.field_str("label", &e.label);
                             w.field_u64("seed", e.seed);
-                            w.field_obj("summary", |w| write_summary(w, &e.value));
+                            match &e.value {
+                                JobOutcome::Ok(s) => {
+                                    w.field_obj("summary", |w| write_summary(w, s));
+                                }
+                                JobOutcome::Failed { reason } => {
+                                    w.field_str("error", reason);
+                                }
+                            }
                         })
                     });
                 }
@@ -889,6 +1082,109 @@ mod tests {
         let entries = batch.run(8);
         let order: Vec<usize> = entries.iter().map(|e| e.value).collect();
         assert_eq!(order, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_job_fails_alone_and_the_rest_survive() {
+        // Regression: a panicking job used to poison the shared slot mutex,
+        // turning the next worker's `.expect("job slot poisoned")` into a
+        // batch-wide abort. It must now degrade to one Failed entry.
+        let mut batch: Batch<usize> = Batch::new(5);
+        for i in 0..6usize {
+            batch.push(format!("iso/{i}"), move |_seed| {
+                if i == 3 {
+                    panic!("deliberate test panic");
+                }
+                i
+            });
+        }
+        let entries = batch.run_outcomes(4);
+        assert_eq!(entries.len(), 6, "every job reports, crashed or not");
+        let ok: Vec<usize> = entries
+            .iter()
+            .filter_map(|e| e.value.as_ok().copied())
+            .collect();
+        assert_eq!(ok, vec![0, 1, 2, 4, 5], "N-1 results survive");
+        let failed = &entries[3];
+        assert_eq!(failed.label, "iso/3");
+        assert_eq!(failed.seed, derive_seed("iso/3", 5), "seed still recorded");
+        let reason = failed.value.failure().expect("job 3 failed");
+        assert!(
+            reason.contains("deliberate test panic"),
+            "panic message surfaces: {reason}"
+        );
+    }
+
+    #[test]
+    fn strict_run_panics_with_the_failing_label() {
+        let mut batch: Batch<usize> = Batch::new(1);
+        batch.push("fine", |_| 1);
+        batch.push("doomed", |_| panic!("strict-mode probe"));
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| batch.run(2)))
+            .expect_err("strict run re-raises job failures");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("doomed"), "label named: {msg}");
+        assert!(msg.contains("strict-mode probe"), "reason named: {msg}");
+    }
+
+    #[test]
+    fn over_budget_job_times_out_without_stalling_the_batch() {
+        let mut batch: Batch<usize> = Batch::new(9);
+        batch.set_job_budget(Duration::from_millis(100));
+        batch.push("quick/a", |_| 1);
+        batch.push("hung", |_| {
+            std::thread::sleep(Duration::from_secs(600));
+            2
+        });
+        batch.push("quick/b", |_| 3);
+        let start = std::time::Instant::now();
+        let entries = batch.run_outcomes(2);
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "the hung job must not stall the grid"
+        );
+        assert_eq!(entries[0].value, JobOutcome::Ok(1));
+        assert_eq!(entries[2].value, JobOutcome::Ok(3));
+        let reason = entries[1].value.failure().expect("hung job timed out");
+        assert!(
+            reason.contains("wall-time budget"),
+            "budget diagnostics: {reason}"
+        );
+    }
+
+    #[test]
+    fn failed_jobs_render_as_error_entries_in_canonical_json() {
+        let mut batch = Batch::new(17);
+        batch.push_scenario(
+            Scenario::builder()
+                .label("ok-cell")
+                .vehicles(3)
+                .duration(2.0)
+                .build(),
+        );
+        batch.push("crash-cell", |_seed| -> RunSummary {
+            panic!("injected grid crash")
+        });
+        let report = batch.run_report(2);
+        assert_eq!(report.summaries().count(), 1, "N-1 summaries survive");
+        let failures: Vec<_> = report.failures().collect();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "crash-cell");
+        let text = report.to_canonical_json();
+        let value = json::parse(&text).expect("report with failures still parses");
+        let Some(Value::Arr(items)) = value.get("entries") else {
+            panic!("entries is an array")
+        };
+        assert!(
+            items[0].get("summary").is_some(),
+            "ok entry keeps its shape"
+        );
+        assert!(items[0].get("error").is_none());
+        let Some(Value::Str(reason)) = items[1].get("error") else {
+            panic!("failed entry renders an error string")
+        };
+        assert!(reason.contains("injected grid crash"), "{reason}");
+        assert!(items[1].get("summary").is_none());
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! * [`engine`] — the sense → communicate → control → integrate loop.
 //! * [`attack`] / [`defense`] — the pluggable adversary and mechanism hook
 //!   traits implemented by `platoon-attacks` and `platoon-defense`.
+//! * [`fault`] — the benign-fault hook trait implemented by `platoon-faults`
+//!   (burst loss, sensor outages, RSU blackouts, ...).
 //! * [`agents`] — benign traffic agents (e.g. a legitimate joiner).
 //! * [`metrics`] / [`events`] — what a run reports.
 //!
@@ -41,6 +43,7 @@ pub mod attack;
 pub mod defense;
 pub mod engine;
 pub mod events;
+pub mod fault;
 pub mod harness;
 pub mod metrics;
 pub mod perf;
@@ -54,9 +57,10 @@ pub mod prelude {
     pub use crate::defense::{Defense, DetectionEvent, NoDefense, RejectReason};
     pub use crate::engine::Engine;
     pub use crate::events::{Event, EventLog, LoggedEvent};
-    pub use crate::harness::{derive_seed, Batch, BatchEntry, BatchJob, BatchReport};
+    pub use crate::fault::{Fault, NoFault};
+    pub use crate::harness::{derive_seed, Batch, BatchEntry, BatchJob, BatchReport, JobOutcome};
     pub use crate::metrics::{
-        score_alerts, DetectionSummary, MetricsCollector, RunSummary, TruthLabels,
+        per_frame_ratio, score_alerts, DetectionSummary, MetricsCollector, RunSummary, TruthLabels,
     };
     pub use crate::perf::PerfCounters;
     pub use crate::scenario::{AuthMode, CommsMode, ControllerKind, Scenario, ScenarioBuilder};

@@ -209,6 +209,29 @@ pub struct DetectionSummary {
     pub attribution_accuracy: f64,
 }
 
+/// Canonical per-frame (or per-run) mean: `total / count`, clamped for the
+/// zero-denominator case.
+///
+/// A fault window can drop *every* frame of a link, and a crash-isolated grid
+/// arm can lose *every* run — both leave nothing to average. Raw IEEE
+/// division would hand the serializer `0.0 / 0.0` (a NaN whose sign bit is
+/// unspecified) or a spurious ±∞ from `x / 0`; this helper pins the empty
+/// case, and any NaN result, to the canonical positive quiet `f64::NAN` so
+/// golden documents stay byte-stable and encode as the `"nan"` / `"inf"` /
+/// `"-inf"` strings the [`harness::json`](crate::harness::json) writer
+/// already supports.
+pub fn per_frame_ratio(total: f64, count: u64) -> f64 {
+    if count == 0 {
+        return f64::NAN;
+    }
+    let ratio = total / count as f64;
+    if ratio.is_nan() {
+        f64::NAN
+    } else {
+        ratio
+    }
+}
+
 /// Scores an alert stream against ground truth.
 pub fn score_alerts(alerts: &[Alert], truth: &TruthLabels) -> DetectionSummary {
     let mut true_positives = 0;
@@ -244,11 +267,7 @@ pub fn score_alerts(alerts: &[Alert], truth: &TruthLabels) -> DetectionSummary {
         false_positives,
         detected: true_positives > 0,
         first_detection_latency: first_latency,
-        attribution_accuracy: if attributed == 0 {
-            f64::NAN
-        } else {
-            attributed_correct as f64 / attributed as f64
-        },
+        attribution_accuracy: per_frame_ratio(attributed_correct as f64, attributed as u64),
     }
 }
 
@@ -401,6 +420,34 @@ mod tests {
         assert_eq!(s.false_positives, 1);
         assert!(s.first_detection_latency.is_infinite());
         assert!(s.attribution_accuracy.is_nan());
+    }
+
+    #[test]
+    fn zero_frame_fault_window_clamps_to_canonical_nan() {
+        // A fault window that drops every delivered frame leaves nothing to
+        // average: the ratio must clamp to the canonical positive quiet NaN
+        // (not a platform-dependent 0.0/0.0 bit pattern) and serialize as
+        // the golden writer's "nan" string.
+        let ratio = per_frame_ratio(0.0, 0);
+        assert!(ratio.is_nan());
+        assert!(ratio.is_sign_positive(), "canonical quiet NaN, not -NaN");
+        let mut w = crate::harness::json::Writer::new();
+        w.obj(|w| w.field_f64("mean_latency", ratio));
+        let text = w.finish();
+        assert!(text.contains("\"nan\""), "{text}");
+        let v = crate::harness::json::parse(&text).unwrap();
+        assert!(v.get("mean_latency").unwrap().as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn per_frame_ratio_divides_and_canonicalizes() {
+        assert_eq!(per_frame_ratio(6.0, 3), 2.0);
+        // An infinite total (e.g. a never-detected latency) stays the
+        // canonical "inf" encoding rather than tripping the clamp.
+        assert_eq!(per_frame_ratio(f64::INFINITY, 2), f64::INFINITY);
+        // Any NaN result normalizes to the positive quiet NaN.
+        assert!(per_frame_ratio(-f64::NAN, 4).is_sign_positive());
+        assert!(per_frame_ratio(f64::NAN, 1).is_nan());
     }
 
     #[test]

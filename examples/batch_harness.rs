@@ -45,8 +45,8 @@ fn main() {
     let parallel = batch().run_report(workers);
     let parallel_time = t1.elapsed();
 
-    for entry in &parallel.entries {
-        println!("{}", entry.value.one_line());
+    for (_, summary) in parallel.summaries() {
+        println!("{}", summary.one_line());
     }
     println!("\n1 worker: {serial_time:.2?}   {workers} workers: {parallel_time:.2?}");
     println!(

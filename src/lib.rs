@@ -20,6 +20,7 @@
 //! | [`sim`] | the scenario-driven simulation engine with attack/defense hooks |
 //! | [`attacks`] | the Table II attack suite (replay, Sybil, jamming, DoS, …) |
 //! | [`defense`] | the Table III mechanism suite (keys, RSU, VPD-ADA, SP-VLC, …) |
+//! | [`faults`] | deterministic benign faults (burst loss, sensor outages, clock skew, RSU blackouts) and seed-derived schedules |
 //! | [`detect`] | the streaming misbehavior-detection pipeline (kinematic, ranging, frequency, identity, freshness detectors + fusion) |
 //! | [`core`] | taxonomies, the ISO/SAE 21434 risk framework and the experiment runner |
 //!
@@ -60,6 +61,7 @@ pub use platoon_crypto as crypto;
 pub use platoon_defense as defense;
 pub use platoon_detect as detect;
 pub use platoon_dynamics as dynamics;
+pub use platoon_faults as faults;
 pub use platoon_proto as proto;
 pub use platoon_sim as sim;
 pub use platoon_v2x as v2x;
@@ -75,6 +77,10 @@ pub mod prelude {
     pub use platoon_defense::prelude::*;
     pub use platoon_detect::prelude::*;
     pub use platoon_dynamics::prelude::*;
+    pub use platoon_faults::{
+        BurstPacketLoss, ClockSkew, FaultSchedule, FaultWindow, NoiseFloorRamp, RsuBlackout,
+        SensorChannel, SensorOutage,
+    };
     pub use platoon_sim::prelude::*;
     pub use platoon_v2x::prelude::{
         ChannelKind, DsrcPhy, Jammer, JammingStrategy, NodeId, RadioMedium, VlcPhy,

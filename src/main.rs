@@ -1,8 +1,9 @@
 //! The workspace's front-door binary.
 //!
 //! ```text
-//! cargo run --release -- perf --quick      # perf grid → BENCH_quick.json
-//! cargo run --release -- perf --help       # all perf options
+//! cargo run --release -- perf --quick        # perf grid → BENCH_quick.json
+//! cargo run --release -- robustness --quick  # fault grid → ROBUSTNESS_quick.json
+//! cargo run --release -- perf --help         # all perf options
 //! ```
 //!
 //! The full table/figure report stays with the bench crate
@@ -12,11 +13,16 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("perf") => std::process::exit(platoon_core::perf::cli_main(&args[1..])),
+        Some("robustness") => {
+            std::process::exit(platoon_core::experiments::robustness::cli_main(&args[1..]))
+        }
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage: platoon-security <command>\n\
-                 \x20 perf [options]   run the perf grid and write BENCH_<label>.json\n\
-                 \x20                  (see `perf --help`)\n\
+                 \x20 perf [options]        run the perf grid and write BENCH_<label>.json\n\
+                 \x20                       (see `perf --help`)\n\
+                 \x20 robustness [options]  detection quality under benign faults, written\n\
+                 \x20                       to ROBUSTNESS_<label>.json (see `robustness --help`)\n\
                  For tables and figures: cargo run --release -p platoon-bench --bin report"
             );
             std::process::exit(if args.is_empty() { 2 } else { 0 });

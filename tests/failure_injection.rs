@@ -2,11 +2,9 @@
 //! faults. A security stack that falls over on ordinary packet loss or a
 //! flaky sensor would be useless on a real road.
 
+use platoon_security::dynamics::sensors::SensorFault;
 use platoon_security::prelude::*;
-use platoon_security::sim::world::World;
 use platoon_security::v2x::prelude::RadioMedium;
-use rand::rngs::StdRng;
-use std::any::Any;
 
 /// A lossy-channel fault: degrades the PHY so that fading losses are common
 /// (models heavy rain / urban clutter, not an attack).
@@ -15,46 +13,6 @@ fn lossy_medium() -> RadioMedium {
     // Raise the noise floor 12 dB: fringe links get marginal.
     m.dsrc.noise_floor_dbm += 12.0;
     m
-}
-
-/// A benign "fault agent" that randomly blinds one vehicle's radar for short
-/// windows (sensor dropouts).
-#[derive(Debug)]
-struct RadarFlaker {
-    victim: usize,
-    outage_until: f64,
-}
-
-impl Attack for RadarFlaker {
-    fn name(&self) -> &'static str {
-        "radar-flaker"
-    }
-
-    fn attribute(&self) -> SecurityAttribute {
-        SecurityAttribute::Availability
-    }
-
-    fn before_comm(&mut self, world: &mut World, rng: &mut StdRng) {
-        use platoon_security::dynamics::sensors::SensorFault;
-        use rand::Rng;
-        let now = world.time;
-        let Some(v) = world.vehicles.get_mut(self.victim) else {
-            return;
-        };
-        if now < self.outage_until {
-            v.sensors.radar.fault = SensorFault::Outage;
-        } else {
-            v.sensors.radar.fault = SensorFault::None;
-            // ~1 outage of 0.5 s per 5 s on average.
-            if rng.gen_range(0.0..1.0) < 0.02 {
-                self.outage_until = now + 0.5;
-            }
-        }
-    }
-
-    fn as_any(&self) -> &dyn Any {
-        self
-    }
 }
 
 #[test]
@@ -83,13 +41,26 @@ fn platoon_survives_radar_dropouts() {
         .seed(22)
         .build();
     let mut engine = Engine::new(scenario);
-    engine.add_attack(Box::new(RadarFlaker {
-        victim: 3,
-        outage_until: 0.0,
-    }));
+    // Scoped radar outages from the faults crate: deterministic windows and
+    // restoration guaranteed even if a window straddles the end of the run.
+    engine.add_fault(Box::new(SensorOutage::radar(
+        3,
+        vec![
+            FaultWindow::new(5.0, 5.5),
+            FaultWindow::new(12.0, 12.5),
+            FaultWindow::new(20.0, 21.0),
+            FaultWindow::new(28.0, 29.0),
+            FaultWindow::new(39.8, 60.0), // straddles the end of the run
+        ],
+    )));
     let s = engine.run();
     assert_eq!(s.collisions, 0, "sensor dropouts are routine, not fatal");
     assert!(s.min_gap > 2.0, "gap margin survived: {}", s.min_gap);
+    assert_eq!(
+        engine.world().vehicles[3].sensors.radar.fault,
+        SensorFault::None,
+        "the outage fault must hand the radar back after the run"
+    );
 }
 
 #[test]

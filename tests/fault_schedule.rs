@@ -1,0 +1,75 @@
+//! Property tests: *any* seed-derived fault schedule is survivable, leaves
+//! the metrics finite, and keeps the harness scheduling-independent.
+//!
+//! The faults crate promises that `FaultSchedule::from_seed` maps every
+//! `u64` to a valid benign-fault mix. These properties hold the whole stack
+//! to that: no panic for any drawn schedule, no NaN/∞ leaking into the
+//! safety metrics, and batches of faulted runs byte-identical across
+//! worker counts (the crash-isolated harness must not let fault state
+//! bleed between jobs).
+
+use platoon_security::prelude::*;
+use proptest::prelude::*;
+
+const DURATION: f64 = 5.0;
+const VEHICLES: usize = 3;
+
+/// One tiny faulted run (3 trucks, 5 simulated seconds — the properties
+/// draw 64 cases, so each must stay cheap).
+fn faulted_run(schedule_seed: u64, scenario_seed: u64) -> RunSummary {
+    let scenario = Scenario::builder()
+        .label(format!("fault-prop/{schedule_seed:#x}"))
+        .vehicles(VEHICLES)
+        .duration(DURATION)
+        .seed(scenario_seed)
+        // Give RSU blackouts something to take away.
+        .rsu((80.0, 8.0))
+        .build();
+    let mut engine = Engine::new(scenario);
+    FaultSchedule::from_seed(schedule_seed, DURATION, VEHICLES).install(&mut engine);
+    engine.run()
+}
+
+proptest! {
+    #[test]
+    fn any_fault_schedule_is_survivable(seed in any::<u64>()) {
+        let schedule = FaultSchedule::from_seed(seed, DURATION, VEHICLES);
+        prop_assert!(!schedule.is_empty(), "every seed yields at least one fault");
+        let s = faulted_run(seed, 7);
+        // Benign degradation may open gaps and drop frames, but it must
+        // never crash the platoon or corrupt the safety metrics.
+        prop_assert_eq!(s.collisions, 0);
+        prop_assert!(s.min_gap.is_finite(), "min_gap {}", s.min_gap);
+        prop_assert!(s.min_gap > 0.0, "min_gap {}", s.min_gap);
+        // min_ttc is +∞ when no pair ever closes — legal; NaN is not.
+        prop_assert!(!s.min_ttc.is_nan(), "min_ttc {}", s.min_ttc);
+        prop_assert!(!s.max_spacing_error.is_nan());
+    }
+
+    #[test]
+    fn faulted_batches_are_worker_count_invariant(base in any::<u64>()) {
+        let batch = |n_jobs: u64| {
+            let mut b: Batch<RunSummary> = Batch::new(base);
+            for i in 0..n_jobs {
+                b.push(format!("cell/{i}"), move |seed| {
+                    faulted_run(base.wrapping_add(i), seed)
+                });
+            }
+            b
+        };
+        let serial = batch(3).run_report(1);
+        let parallel = batch(3).run_report(8);
+        // Byte-identical canonical documents — and, stronger, identical
+        // in-memory summaries including the PerfCounters, which would be
+        // the first thing to drift if fault state leaked across workers.
+        prop_assert_eq!(
+            serial.to_canonical_json(),
+            parallel.to_canonical_json()
+        );
+        for (a, b) in serial.entries.iter().zip(&parallel.entries) {
+            prop_assert_eq!(&a.label, &b.label);
+            let (sa, sb) = (a.value.as_ok().unwrap(), b.value.as_ok().unwrap());
+            prop_assert_eq!(&sa.perf, &sb.perf, "{}", a.label);
+        }
+    }
+}

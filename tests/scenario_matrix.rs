@@ -69,9 +69,13 @@ fn controller_auth_comms_grid_is_sound() {
         "4 controllers × 4 auths × 3 comms"
     );
 
-    // Semantic invariants per cell, independent of the snapshot.
+    // Semantic invariants per cell, independent of the snapshot. Grid cells
+    // carry no injected failures, so every outcome must be Ok.
     for entry in &report.entries {
-        let s = &entry.value;
+        let s = entry
+            .value
+            .as_ok()
+            .unwrap_or_else(|| panic!("{} failed unexpectedly", entry.label));
         assert_eq!(s.collisions, 0, "{} crashed", entry.label);
         assert_eq!(
             s.rejected_messages, 0,
@@ -104,7 +108,10 @@ fn platoon_size_scales() {
     }
     let report = batch.run_report(4);
     for (n, entry) in [2usize, 4, 8, 12, 16].into_iter().zip(&report.entries) {
-        let s = &entry.value;
+        let s = entry
+            .value
+            .as_ok()
+            .unwrap_or_else(|| panic!("size {n} failed unexpectedly"));
         assert_eq!(s.collisions, 0, "size {n} crashed");
         // Long strings accumulate sensor/channel noise; accept either the
         // strict amplification criterion or tightly-bounded absolute errors.
