@@ -6,6 +6,8 @@
 //! cargo run --release -p platoon-bench --bin report -- --quick
 //! cargo run --release -p platoon-bench --bin report -- perf --quick
 //! cargo run --release -p platoon-bench --bin report -- robustness --quick
+//! cargo run --release -p platoon-bench --bin report -- trace --quick
+//! cargo run --release -p platoon-bench --bin report -- trace-diff A B
 //! ```
 
 fn main() {
@@ -16,17 +18,26 @@ fn main() {
     if args.first().map(String::as_str) == Some("robustness") {
         std::process::exit(platoon_core::experiments::robustness::cli_main(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("trace") {
+        std::process::exit(platoon_core::experiments::trace::cli_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("trace-diff") {
+        std::process::exit(platoon_core::experiments::trace::diff_cli_main(&args[1..]));
+    }
     let mut quick = false;
     for arg in &args {
         match arg.as_str() {
             "--quick" => quick = true,
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: report [--quick] | report perf [options] | report robustness [options]"
+                    "usage: report [--quick] | report perf [options] | report robustness [options]\n\
+                     \x20      | report trace [options] | report trace-diff A B"
                 );
                 eprintln!("  --quick      shorter runs and fewer sweep points");
                 eprintln!("  perf         the perf grid (see `report perf --help`)");
                 eprintln!("  robustness   detection quality under benign faults (see `report robustness --help`)");
+                eprintln!("  trace        deterministic per-tick trace of one scenario (see `report trace --help`)");
+                eprintln!("  trace-diff   first diverging tick/phase between two traces");
                 return;
             }
             other => {

@@ -13,6 +13,7 @@ pub mod robustness;
 pub mod table2;
 pub mod table3;
 pub mod table4;
+pub mod trace;
 
 use serde::Serialize;
 

@@ -24,6 +24,7 @@ use crate::fault::Fault;
 use crate::metrics::{score_alerts, DetectionSummary, MetricsCollector, RunSummary, TruthLabels};
 use crate::perf::PerfCounters;
 use crate::scenario::{AuthMode, CommsMode, ControllerKind, Scenario};
+use crate::trace::{TraceDetail, TracePhase, TraceRecord, Tracer};
 use crate::world::{AuthMaterial, CommState, HeardPeer, Rsu, VehicleNode, World};
 use platoon_crypto::cert::{CertificateAuthority, PrincipalId};
 use platoon_crypto::keys::{KeyPair, SymmetricKey};
@@ -127,6 +128,8 @@ pub struct Engine {
     scratch: StepScratch,
     /// Deterministic work counters (see [`crate::perf`]).
     perf: PerfCounters,
+    /// Optional per-tick trace sink (see [`crate::trace`]).
+    tracer: Option<Box<dyn Tracer>>,
 }
 
 impl Engine {
@@ -245,6 +248,7 @@ impl Engine {
             service_was_down: vec![false; n],
             scratch: StepScratch::default(),
             perf: PerfCounters::default(),
+            tracer: None,
             scenario,
         }
     }
@@ -339,6 +343,49 @@ impl Engine {
     /// The attached detection pipeline, if any.
     pub fn detector_pipeline(&self) -> Option<&Pipeline> {
         self.pipeline.as_ref()
+    }
+
+    /// Attaches a per-tick trace sink, alongside attacks, defenses and
+    /// faults. Each step emits phase-scoped [`TraceRecord`]s stamped with
+    /// the tick index and tick-derived simulation time only — never wall
+    /// clock — so the recorded stream is identical across worker counts
+    /// and machines. The tracer's digest is folded into the
+    /// [`RunSummary`].
+    pub fn attach_tracer(&mut self, tracer: Box<dyn Tracer>) {
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any (for downcasting after a run).
+    pub fn tracer(&self) -> Option<&dyn Tracer> {
+        self.tracer.as_deref()
+    }
+
+    /// Detaches and returns the tracer (to extract the recorded trace).
+    pub fn take_tracer(&mut self) -> Option<Box<dyn Tracer>> {
+        self.tracer.take()
+    }
+
+    /// Emits one trace record into `tracer` if one is attached.
+    ///
+    /// A free-standing helper over the field (rather than `&mut self`) so
+    /// phases that already hold disjoint field borrows — the fault/defense
+    /// hook loops, delivery processing — can emit without fighting the
+    /// borrow checker, mirroring how `events.push` is reached.
+    fn trace_into(
+        tracer: &mut Option<Box<dyn Tracer>>,
+        tick: u64,
+        time: f64,
+        phase: TracePhase,
+        detail: TraceDetail,
+    ) {
+        if let Some(t) = tracer.as_mut() {
+            t.record(&TraceRecord {
+                tick,
+                time,
+                phase,
+                detail,
+            });
+        }
     }
 
     /// Labels the run with ground truth about the injected attack, so the
@@ -513,11 +560,21 @@ impl Engine {
     /// Advances one communication step.
     pub fn step(&mut self) {
         let now = self.world.time;
+        let tick = self.steps_run;
 
         // Phase 0: benign environment degradation (faults precede
         // adversaries, so attacks act on the already-degraded world).
         for fault in self.faults.iter_mut() {
             fault.apply(&mut self.world, now);
+            Self::trace_into(
+                &mut self.tracer,
+                tick,
+                now,
+                TracePhase::Fault,
+                TraceDetail::FaultApplied {
+                    fault: fault.name(),
+                },
+            );
         }
 
         // Phase 1: adversary world mutation.
@@ -535,8 +592,21 @@ impl Engine {
                 self.metrics.links.record_offer(v.node);
             }
         }
+        let honest_frames = frames.len() as u64;
         for attack in self.attacks.iter_mut() {
             attack.on_air(&mut self.world, &mut self.rng, &mut frames);
+        }
+        if !self.attacks.is_empty() {
+            Self::trace_into(
+                &mut self.tracer,
+                tick,
+                now,
+                TracePhase::Attack,
+                TraceDetail::AttackFrames {
+                    honest: honest_frames,
+                    total: frames.len() as u64,
+                },
+            );
         }
 
         let mut receivers = std::mem::take(&mut self.scratch.receivers);
@@ -568,10 +638,28 @@ impl Engine {
             }
         }
 
-        let (deliveries, _step_stats) =
+        let (deliveries, step_stats) =
             self.world
                 .medium
                 .step(now, &frames, &receivers, &self.world.jammers, &mut self.rng);
+        // Per-tick max delivery latency: canonical NaN when nothing landed
+        // (the same convention as `per_frame_ratio` / `LinkStats::max_latency`).
+        let tick_max_latency = deliveries
+            .iter()
+            .map(|d| d.latency)
+            .fold(f64::NAN, f64::max);
+        Self::trace_into(
+            &mut self.tracer,
+            tick,
+            now,
+            TracePhase::Medium,
+            TraceDetail::MediumStep {
+                offered: step_stats.offered as u64,
+                delivered: step_stats.delivered as u64,
+                lost: step_stats.lost as u64,
+                max_latency: tick_max_latency,
+            },
+        );
 
         for attack in self.attacks.iter_mut() {
             attack.observe(&mut self.world, &mut self.rng, &deliveries);
@@ -609,6 +697,15 @@ impl Engine {
                     det.time,
                     Event::Detection {
                         suspect: det.suspect,
+                    },
+                );
+                Self::trace_into(
+                    &mut self.tracer,
+                    tick,
+                    now,
+                    TracePhase::Detector,
+                    TraceDetail::DetectorAlert {
+                        suspect: Some(det.suspect.0),
                     },
                 );
             }
@@ -855,6 +952,17 @@ impl Engine {
                             reason,
                         },
                     );
+                    Self::trace_into(
+                        &mut self.tracer,
+                        self.steps_run,
+                        now,
+                        TracePhase::Defense,
+                        TraceDetail::DefenseVerdict {
+                            receiver: rx_idx as u64,
+                            sender: env.sender.0,
+                            reason: format!("{reason:?}"),
+                        },
+                    );
                     continue;
                 }
             };
@@ -874,6 +982,17 @@ impl Engine {
                         receiver: rx_idx,
                         sender: env.sender,
                         reason,
+                    },
+                );
+                Self::trace_into(
+                    &mut self.tracer,
+                    self.steps_run,
+                    now,
+                    TracePhase::Defense,
+                    TraceDetail::DefenseVerdict {
+                        receiver: rx_idx as u64,
+                        sender: env.sender.0,
+                        reason: format!("{reason:?}"),
                     },
                 );
                 continue;
@@ -1072,12 +1191,23 @@ impl Engine {
         self.scratch.observers = observers;
         for alert in pipeline.take_alerts() {
             self.detections += 1;
-            match alert.target {
+            let suspect = match alert.target {
                 AlertTarget::Sender(suspect) => {
                     self.events.push(alert.time, Event::Detection { suspect });
+                    Some(suspect.0)
                 }
-                AlertTarget::Channel => self.events.push(alert.time, Event::ChannelAlarm),
-            }
+                AlertTarget::Channel => {
+                    self.events.push(alert.time, Event::ChannelAlarm);
+                    None
+                }
+            };
+            Self::trace_into(
+                &mut self.tracer,
+                self.steps_run,
+                now,
+                TracePhase::Detector,
+                TraceDetail::DetectorAlert { suspect },
+            );
         }
     }
 
@@ -1453,6 +1583,16 @@ impl Engine {
                 if self.metrics.safety.collision_count() > before {
                     self.events
                         .push(self.world.time, Event::Collision { rear_index: idx });
+                    Self::trace_into(
+                        &mut self.tracer,
+                        self.steps_run,
+                        now,
+                        TracePhase::Dynamics,
+                        TraceDetail::SafetyEvent {
+                            kind: "collision",
+                            vehicle: idx as u64,
+                        },
+                    );
                 }
             }
             // Fuel per substep.
@@ -1502,6 +1642,16 @@ impl Engine {
             let down = !self.world.vehicles[idx].platooning_enabled;
             if down && !self.service_was_down[idx] {
                 self.events.push(now, Event::ServiceDown { vehicle: idx });
+                Self::trace_into(
+                    &mut self.tracer,
+                    self.steps_run,
+                    now,
+                    TracePhase::Dynamics,
+                    TraceDetail::SafetyEvent {
+                        kind: "service-down",
+                        vehicle: idx as u64,
+                    },
+                );
             }
             self.service_was_down[idx] = down;
         }
@@ -1569,6 +1719,8 @@ impl Engine {
             detections: self.detections,
             mean_abs_spacing_error: mean_abs,
             perf: self.perf,
+            events_dropped: self.events.dropped(),
+            trace: self.tracer.as_ref().map(|t| t.digest()),
         }
     }
 }

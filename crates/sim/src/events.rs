@@ -114,8 +114,28 @@ impl EventLog {
         self.dropped
     }
 
-    /// Counts retained events matching a predicate.
-    pub fn count(&self, mut pred: impl FnMut(&Event) -> bool) -> usize {
+    /// Counts events matching a predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the log has saturated (`dropped > 0`): a count over a
+    /// truncated log silently undercounts, which is exactly how saturated
+    /// collision/detection tallies used to leak into run summaries
+    /// unnoticed. Callers that can accept a lower bound must say so
+    /// explicitly via [`count_retained`](Self::count_retained).
+    pub fn count(&self, pred: impl FnMut(&Event) -> bool) -> usize {
+        assert_eq!(
+            self.dropped, 0,
+            "EventLog::count on a saturated log ({} events dropped past a capacity of {}): \
+             the tally would silently undercount; use count_retained() to accept the lower bound",
+            self.dropped, self.capacity
+        );
+        self.count_retained(pred)
+    }
+
+    /// Counts retained events matching a predicate — an explicit *lower
+    /// bound* once the log has saturated (check [`dropped`](Self::dropped)).
+    pub fn count_retained(&self, mut pred: impl FnMut(&Event) -> bool) -> usize {
         self.events.iter().filter(|e| pred(&e.event)).count()
     }
 }
@@ -160,5 +180,36 @@ mod tests {
             },
         );
         assert_eq!(log.count(|e| matches!(e, Event::Collision { .. })), 2);
+    }
+
+    #[test]
+    fn saturated_count_fails_loudly_but_count_retained_saturates() {
+        // Regression: `count` on a saturated log used to return the
+        // retained-only tally as if it were exact, so summaries silently
+        // undercounted once capacity was hit.
+        let mut log = EventLog::new(3);
+        for i in 0..5 {
+            log.push(i as f64, Event::Collision { rear_index: i });
+        }
+        assert_eq!(log.dropped(), 2);
+        let err = std::panic::catch_unwind(|| log.count(|e| matches!(e, Event::Collision { .. })))
+            .expect_err("count on a saturated log must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .unwrap_or_default();
+        assert!(
+            msg.contains("saturated"),
+            "diagnostic names the cause: {msg}"
+        );
+        assert!(
+            msg.contains("count_retained"),
+            "points at the escape hatch: {msg}"
+        );
+        // The explicit lower-bound accessor still works.
+        assert_eq!(
+            log.count_retained(|e| matches!(e, Event::Collision { .. })),
+            3
+        );
     }
 }

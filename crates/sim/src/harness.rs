@@ -183,10 +183,12 @@ impl<T: Send + 'static> Batch<T> {
     ///
     /// An over-budget job is reported as [`JobOutcome::Failed`] and the rest
     /// of the grid keeps running, so one hung cell cannot stall a batch.
-    /// Budgeted jobs run on a detached watchdog thread: a job that never
-    /// returns leaks its thread until process exit — the budget bounds grid
-    /// latency, not resource reclamation. Off by default (no behavior
-    /// change): results of *completing* jobs are identical either way.
+    /// Budgeted jobs run on a watchdog thread that is joined as soon as the
+    /// job finishes under budget; only a job that never returns detaches and
+    /// leaks its thread until process exit — the budget bounds grid latency,
+    /// not resource reclamation for genuinely hung jobs. Off by default (no
+    /// behavior change): results of *completing* jobs are identical either
+    /// way.
     pub fn set_job_budget(&mut self, budget: Duration) {
         self.job_budget = Some(budget);
     }
@@ -357,19 +359,39 @@ fn execute_job<T: Send + 'static>(
             // A send into a receiver that already timed out is harmless.
             let _ = tx.send(catch_unwind(AssertUnwindSafe(|| run(seed))));
         });
-    if spawned.is_err() {
-        return JobOutcome::Failed {
-            reason: "could not spawn the job watchdog thread".into(),
-        };
-    }
+    let handle = match spawned {
+        Ok(handle) => handle,
+        Err(_) => {
+            return JobOutcome::Failed {
+                reason: "could not spawn the job watchdog thread".into(),
+            }
+        }
+    };
     match rx.recv_timeout(limit) {
-        Ok(Ok(value)) => JobOutcome::Ok(value),
-        Ok(Err(payload)) => JobOutcome::Failed {
-            reason: format!("job panicked: {}", panic_message(payload.as_ref())),
-        },
-        Err(_) => JobOutcome::Failed {
-            reason: format!("job exceeded its wall-time budget of {limit:?}"),
-        },
+        Ok(result) => {
+            // The job finished under budget: the watchdog thread has sent
+            // its result and is exiting — reap it here so large budgeted
+            // batches do not accumulate one lingering thread per
+            // completed job. (Its own panics were already caught and
+            // shipped through the channel, so join cannot re-raise.)
+            let _ = handle.join();
+            match result {
+                Ok(value) => JobOutcome::Ok(value),
+                Err(payload) => JobOutcome::Failed {
+                    reason: format!("job panicked: {}", panic_message(payload.as_ref())),
+                },
+            }
+        }
+        Err(_) => {
+            // Over budget: the job is still running and cannot be
+            // cancelled cooperatively — detach the watchdog (it leaks
+            // until process exit; the budget bounds grid latency, not
+            // resource reclamation for genuinely hung jobs).
+            drop(handle);
+            JobOutcome::Failed {
+                reason: format!("job exceeded its wall-time budget of {limit:?}"),
+            }
+        }
     }
 }
 
@@ -519,7 +541,13 @@ fn write_summary(w: &mut json::Writer, s: &RunSummary) {
     });
     w.field_u64("rejected_messages", s.rejected_messages as u64);
     w.field_u64("detections", s.detections as u64);
+    w.field_u64("events_dropped", s.events_dropped);
     w.field_obj("perf", |w| s.perf.write_canonical(w));
+    // Rendered only when a tracer was attached, so untraced goldens keep
+    // their exact historical shape.
+    if let Some(trace) = &s.trace {
+        w.field_obj("trace", |w| trace.write_canonical(w));
+    }
 }
 
 pub mod json {
@@ -727,13 +755,18 @@ pub mod json {
         }
     }
 
-    /// Canonical pretty-printing JSON writer (two-space indent, fixed field
-    /// order, `{:?}` floats, non-finite floats as strings).
+    /// Canonical JSON writer: fixed field order, `{:?}` floats, non-finite
+    /// floats as strings. [`Writer::new`] pretty-prints with a two-space
+    /// indent (the golden-document shape); [`Writer::compact`] emits the
+    /// same document on a single line (the JSONL trace-record shape).
+    /// Both shapes parse back through [`parse`] identically.
     pub struct Writer {
         out: String,
         indent: usize,
         /// Whether the current container already has a member (comma logic).
         needs_comma: Vec<bool>,
+        /// Pretty (indented, one member per line) vs compact (single line).
+        pretty: bool,
     }
 
     impl Default for Writer {
@@ -743,18 +776,33 @@ pub mod json {
     }
 
     impl Writer {
-        /// Creates an empty writer.
+        /// Creates an empty pretty-printing writer.
         pub fn new() -> Self {
             Writer {
                 out: String::new(),
                 indent: 0,
                 needs_comma: Vec::new(),
+                pretty: true,
             }
         }
 
-        /// Finishes, returning the document with a trailing newline.
+        /// Creates an empty single-line writer (for JSONL records).
+        pub fn compact() -> Self {
+            Writer {
+                out: String::new(),
+                indent: 0,
+                needs_comma: Vec::new(),
+                pretty: false,
+            }
+        }
+
+        /// Finishes, returning the document — with a trailing newline when
+        /// pretty, without one when compact (JSONL callers join lines
+        /// themselves).
         pub fn finish(mut self) -> String {
-            self.out.push('\n');
+            if self.pretty {
+                self.out.push('\n');
+            }
             self.out
         }
 
@@ -762,10 +810,13 @@ pub mod json {
             if let Some(last) = self.needs_comma.last_mut() {
                 if *last {
                     self.out.push(',');
+                    if !self.pretty {
+                        self.out.push(' ');
+                    }
                 }
                 *last = true;
             }
-            if !self.needs_comma.is_empty() {
+            if self.pretty && !self.needs_comma.is_empty() {
                 self.out.push('\n');
                 for _ in 0..self.indent {
                     self.out.push_str("  ");
@@ -782,7 +833,7 @@ pub mod json {
         fn close(&mut self, c: char) {
             let had_items = self.needs_comma.pop().unwrap_or(false);
             self.indent -= 1;
-            if had_items {
+            if self.pretty && had_items {
                 self.out.push('\n');
                 for _ in 0..self.indent {
                     self.out.push_str("  ");
@@ -1149,6 +1200,71 @@ mod tests {
         assert!(
             reason.contains("wall-time budget"),
             "budget diagnostics: {reason}"
+        );
+    }
+
+    /// Live threads of this process (Linux: one /proc/self/task entry per
+    /// thread).
+    #[cfg(target_os = "linux")]
+    fn thread_count() -> usize {
+        std::fs::read_dir("/proc/self/task")
+            .expect("procfs available on linux")
+            .count()
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn completed_budgeted_jobs_reap_their_watchdog_threads() {
+        // Regression: watchdog threads of jobs that finished *under* budget
+        // were dropped without joining, leaking one sleeping thread per
+        // completed job for the life of the process. They must now be
+        // joined before the batch returns.
+        let baseline = thread_count();
+        let mut batch: Batch<usize> = Batch::new(21);
+        batch.set_job_budget(Duration::from_secs(120));
+        for i in 0..24usize {
+            batch.push(format!("wd/{i}"), move |_seed| i);
+        }
+        let entries = batch.run_outcomes(4);
+        assert_eq!(entries.len(), 24);
+        assert!(entries.iter().all(|e| !e.value.is_failed()));
+        let after = thread_count();
+        assert!(
+            after <= baseline + 1,
+            "watchdog threads leaked: {baseline} before, {after} after 24 budgeted jobs"
+        );
+    }
+
+    #[test]
+    fn compact_writer_is_single_line_and_parses_identically() {
+        let build = |mut w: json::Writer| {
+            w.obj(|w| {
+                w.field_u64("tick", 7);
+                w.field_f64("nan", f64::NAN);
+                w.field_obj("detail", |w| {
+                    w.field_str("kind", "medium_step");
+                    w.field_arr("xs", |w| {
+                        for x in [1.5, -0.25] {
+                            w.elem(|w| w.push_f64(x));
+                        }
+                    });
+                });
+            });
+            w.finish()
+        };
+        let pretty = build(json::Writer::new());
+        let compact = build(json::Writer::compact());
+        assert!(pretty.ends_with('\n'));
+        assert!(!compact.contains('\n'), "compact output is one line");
+        assert_eq!(
+            compact,
+            "{\"tick\": 7, \"nan\": \"nan\", \"detail\": \
+             {\"kind\": \"medium_step\", \"xs\": [1.5, -0.25]}}"
+        );
+        // Both shapes parse to the same value.
+        assert_eq!(
+            json::parse(&pretty).unwrap(),
+            json::parse(&compact).unwrap()
         );
     }
 

@@ -15,6 +15,8 @@
 //!   (burst loss, sensor outages, RSU blackouts, ...).
 //! * [`agents`] — benign traffic agents (e.g. a legitimate joiner).
 //! * [`metrics`] / [`events`] — what a run reports.
+//! * [`trace`] — the deterministic per-tick trace hook (recorder lives in
+//!   `platoon-trace`).
 //!
 //! # Examples
 //!
@@ -48,6 +50,7 @@ pub mod harness;
 pub mod metrics;
 pub mod perf;
 pub mod scenario;
+pub mod trace;
 pub mod world;
 
 /// Convenient glob-import of the crate's primary types.
@@ -64,6 +67,7 @@ pub mod prelude {
     };
     pub use crate::perf::PerfCounters;
     pub use crate::scenario::{AuthMode, CommsMode, ControllerKind, Scenario, ScenarioBuilder};
+    pub use crate::trace::{TraceDetail, TraceDigest, TracePhase, TraceRecord, Tracer};
     pub use crate::world::{
         AuthMaterial, BeaconLie, CommState, HeardPeer, Rsu, VehicleNode, World,
     };

@@ -3,6 +3,7 @@
 //! ground-truth attack labels.
 
 use crate::perf::PerfCounters;
+use crate::trace::TraceDigest;
 use platoon_crypto::cert::PrincipalId;
 use platoon_detect::fusion::{Alert, AlertTarget};
 use platoon_dynamics::safety::SafetyMonitor;
@@ -128,6 +129,14 @@ pub struct RunSummary {
     pub mean_abs_spacing_error: f64,
     /// Deterministic engine work counters (see [`crate::perf`]).
     pub perf: PerfCounters,
+    /// Events dropped by the bounded [`EventLog`](crate::events::EventLog)
+    /// after it saturated. Non-zero means the `collisions`/`detections`
+    /// tallies above are *lower bounds* — surfaced here (and in the golden
+    /// snapshots) so saturation can never silently undercount again.
+    pub events_dropped: u64,
+    /// Digest of the attached per-tick trace, when a
+    /// [`Tracer`](crate::trace::Tracer) was attached.
+    pub trace: Option<TraceDigest>,
 }
 
 impl RunSummary {
@@ -373,6 +382,8 @@ mod tests {
             detections: 0,
             mean_abs_spacing_error: 0.0,
             perf: PerfCounters::default(),
+            events_dropped: 0,
+            trace: None,
         };
         let line = s.one_line();
         assert!(line.contains("degenerate"));

@@ -1,0 +1,156 @@
+//! Trace diffing: find the first diverging tick/phase between two traces.
+
+use platoon_sim::harness::json;
+
+/// Marker used in a [`Divergence`] for the side whose trace ended first.
+pub const END_OF_TRACE: &str = "<end of trace>";
+
+/// The first point where two traces disagree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Divergence {
+    /// 1-based line number of the first differing line.
+    pub line: usize,
+    /// The differing record's tick, when either side parses as a trace
+    /// record (taken from the left side if present, else the right).
+    pub tick: Option<u64>,
+    /// The differing record's phase, same preference.
+    pub phase: Option<String>,
+    /// The left trace's line ([`END_OF_TRACE`] if it ended first).
+    pub left: String,
+    /// The right trace's line ([`END_OF_TRACE`] if it ended first).
+    pub right: String,
+}
+
+impl Divergence {
+    /// One-line human rendering: `line 12 (tick 7, phase medium): ...`.
+    pub fn describe(&self) -> String {
+        let at = match (&self.tick, &self.phase) {
+            (Some(t), Some(p)) => format!(" (tick {t}, phase {p})"),
+            (Some(t), None) => format!(" (tick {t})"),
+            _ => String::new(),
+        };
+        format!(
+            "line {}{at}:\n  left:  {}\n  right: {}",
+            self.line, self.left, self.right
+        )
+    }
+}
+
+/// Extracts `(tick, phase)` from a canonical trace line, if it parses.
+fn tick_and_phase(line: &str) -> (Option<u64>, Option<String>) {
+    let Ok(v) = json::parse(line) else {
+        return (None, None);
+    };
+    let tick = v
+        .get("tick")
+        .and_then(|t| t.as_f64())
+        .map(|t| t.round() as u64);
+    let phase = v.get("phase").and_then(|p| match p {
+        json::Value::Str(s) => Some(s.clone()),
+        _ => None,
+    });
+    (tick, phase)
+}
+
+/// Compares two JSONL traces line by line and returns the first
+/// divergence, or `None` when they are identical.
+///
+/// Byte-level comparison: the whole point of the canonical encoding is
+/// that equal runs produce equal bytes, so anything subtler would paper
+/// over real nondeterminism. A missing line (one trace ended first) is a
+/// divergence whose shorter side reads [`END_OF_TRACE`].
+pub fn diff_traces(left: &str, right: &str) -> Option<Divergence> {
+    let mut l = left.lines();
+    let mut r = right.lines();
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (l.next(), r.next()) {
+            (None, None) => return None,
+            (a, b) if a == b => continue,
+            (a, b) => {
+                let left_line = a.unwrap_or(END_OF_TRACE).to_string();
+                let right_line = b.unwrap_or(END_OF_TRACE).to_string();
+                // Prefer the side that still has a record to name tick/phase.
+                let (tick, phase) = match (a, b) {
+                    (Some(a), _) => tick_and_phase(a),
+                    (None, Some(b)) => tick_and_phase(b),
+                    (None, None) => unreachable!("handled above"),
+                };
+                return Some(Divergence {
+                    line,
+                    tick,
+                    phase,
+                    left: left_line,
+                    right: right_line,
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::TraceRecorder;
+    use platoon_sim::trace::{TraceDetail, TracePhase, TraceRecord, Tracer};
+
+    fn jsonl(ticks: &[(u64, u64)]) -> String {
+        let mut r = TraceRecorder::new();
+        for &(tick, delivered) in ticks {
+            r.record(&TraceRecord {
+                tick,
+                time: tick as f64 * 0.1,
+                phase: TracePhase::Medium,
+                detail: TraceDetail::MediumStep {
+                    offered: 4,
+                    delivered,
+                    lost: 0,
+                    max_latency: 0.002,
+                },
+            });
+        }
+        r.to_jsonl()
+    }
+
+    #[test]
+    fn identical_traces_do_not_diverge() {
+        let a = jsonl(&[(0, 12), (1, 11), (2, 12)]);
+        assert_eq!(diff_traces(&a, &a), None);
+        assert_eq!(diff_traces("", ""), None);
+    }
+
+    #[test]
+    fn first_divergence_names_line_tick_and_phase() {
+        let a = jsonl(&[(0, 12), (1, 11), (2, 12)]);
+        let b = jsonl(&[(0, 12), (1, 9), (2, 12)]);
+        let d = diff_traces(&a, &b).expect("traces differ");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.tick, Some(1));
+        assert_eq!(d.phase.as_deref(), Some("medium"));
+        assert!(d.describe().contains("tick 1"), "{}", d.describe());
+        assert!(d.describe().contains("phase medium"));
+    }
+
+    #[test]
+    fn truncated_trace_diverges_at_the_missing_line() {
+        let a = jsonl(&[(0, 12), (1, 11)]);
+        let b = jsonl(&[(0, 12)]);
+        let d = diff_traces(&a, &b).expect("lengths differ");
+        assert_eq!(d.line, 2);
+        assert_eq!(d.right, END_OF_TRACE);
+        assert_eq!(d.tick, Some(1), "tick comes from the surviving side");
+        // Symmetric the other way round.
+        let d = diff_traces(&b, &a).expect("lengths differ");
+        assert_eq!(d.left, END_OF_TRACE);
+        assert_eq!(d.tick, Some(1));
+    }
+
+    #[test]
+    fn non_record_lines_still_diff_without_tick() {
+        let d = diff_traces("not json\n", "also not json\n").expect("differ");
+        assert_eq!(d.line, 1);
+        assert_eq!(d.tick, None);
+        assert_eq!(d.phase, None);
+    }
+}

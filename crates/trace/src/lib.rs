@@ -1,0 +1,54 @@
+//! # platoon-trace
+//!
+//! The deterministic, bounded per-tick trace recorder for the platoon
+//! simulation, and the trace-diff helper that turns "golden mismatch"
+//! debugging into a one-command answer.
+//!
+//! The hook trait and record types live in
+//! [`platoon_sim::trace`] (so the engine can emit
+//! without a dependency cycle); this crate provides:
+//!
+//! * [`TraceRecorder`] — a [`Tracer`](platoon_sim::trace::Tracer)
+//!   implementation that renders every record eagerly to a compact
+//!   canonical-JSON line, retains at most a bounded number of lines, and
+//!   keeps a running FNV-1a digest over the *full* stream (dropped
+//!   records included).
+//! * [`diff_traces`] — given two JSONL traces, reports the first
+//!   diverging line with its tick and phase (or `None` when byte-equal).
+//!
+//! Attach a recorder with
+//! [`Engine::attach_tracer`](platoon_sim::engine::Engine::attach_tracer),
+//! run the scenario, then [`Engine::take_tracer`](platoon_sim::engine::Engine::take_tracer)
+//! and downcast back to extract the JSONL text:
+//!
+//! ```
+//! use platoon_sim::prelude::*;
+//! use platoon_trace::TraceRecorder;
+//!
+//! let scenario = Scenario::builder()
+//!     .label("traced")
+//!     .vehicles(4)
+//!     .duration(2.0)
+//!     .build();
+//! let mut engine = Engine::new(scenario);
+//! engine.attach_tracer(Box::new(TraceRecorder::new()));
+//! let summary = engine.run();
+//! let recorder = engine
+//!     .take_tracer()
+//!     .unwrap()
+//!     .as_any()
+//!     .downcast_ref::<TraceRecorder>()
+//!     .cloned()
+//!     .unwrap();
+//! assert_eq!(summary.trace, Some(recorder.digest()));
+//! assert!(recorder.to_jsonl().lines().count() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod recorder;
+
+pub use diff::{diff_traces, Divergence};
+pub use recorder::TraceRecorder;

@@ -74,8 +74,20 @@ impl LinkStats {
         self.latency_sum / self.latency_count as f64
     }
 
-    /// Maximum observed latency in seconds.
+    /// Maximum observed latency in seconds, or the canonical positive
+    /// quiet NaN when nothing has been delivered.
+    ///
+    /// The field defaults to `0.0`, so returning it raw used to make a
+    /// zero-delivery run (total jamming, a blackout window covering the
+    /// whole run) report a *perfect* max latency of 0.0 — indistinguishable
+    /// from instant delivery. NaN is the convention the rest of the
+    /// workspace uses for "nothing to measure" (cf. `per_frame_ratio` in
+    /// `platoon-sim`), and the canonical JSON writer encodes it as the
+    /// `"nan"` string.
     pub fn max_latency(&self) -> f64 {
+        if self.latency_count == 0 {
+            return f64::NAN;
+        }
         self.latency_max
     }
 
@@ -203,5 +215,30 @@ mod tests {
         let s = LinkStats::new();
         assert_eq!(s.mean_latency(), 0.0);
         assert_eq!(s.total_offered(), 0);
+    }
+
+    #[test]
+    fn zero_delivery_max_latency_is_canonical_nan() {
+        // Regression: `max_latency` used to return the 0.0 default when
+        // nothing was delivered, reporting a *perfect* maximum for a run
+        // whose channel was completely dead.
+        let empty = LinkStats::new();
+        assert!(empty.max_latency().is_nan());
+        assert!(
+            empty.max_latency().is_sign_positive(),
+            "canonical positive quiet NaN, not -NaN"
+        );
+
+        // Offers alone measure nothing either — only deliveries do.
+        let mut offered_only = LinkStats::new();
+        offered_only.record_offer(NodeId(1));
+        assert!(offered_only.max_latency().is_nan());
+
+        // One delivery flips it to a real measurement (even a 0.0 one).
+        let mut s = LinkStats::new();
+        s.record_delivery(NodeId(1), NodeId(2), 0.0);
+        assert_eq!(s.max_latency(), 0.0);
+        s.record_delivery(NodeId(1), NodeId(3), 0.004);
+        assert_eq!(s.max_latency(), 0.004);
     }
 }

@@ -3,6 +3,8 @@
 //! ```text
 //! cargo run --release -- perf --quick        # perf grid → BENCH_quick.json
 //! cargo run --release -- robustness --quick  # fault grid → ROBUSTNESS_quick.json
+//! cargo run --release -- trace --quick       # traced run → TRACE_quick.jsonl
+//! cargo run --release -- trace-diff A B      # first diverging tick/phase
 //! cargo run --release -- perf --help         # all perf options
 //! ```
 //!
@@ -16,6 +18,10 @@ fn main() {
         Some("robustness") => {
             std::process::exit(platoon_core::experiments::robustness::cli_main(&args[1..]))
         }
+        Some("trace") => std::process::exit(platoon_core::experiments::trace::cli_main(&args[1..])),
+        Some("trace-diff") => {
+            std::process::exit(platoon_core::experiments::trace::diff_cli_main(&args[1..]))
+        }
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage: platoon-security <command>\n\
@@ -23,6 +29,9 @@ fn main() {
                  \x20                       (see `perf --help`)\n\
                  \x20 robustness [options]  detection quality under benign faults, written\n\
                  \x20                       to ROBUSTNESS_<label>.json (see `robustness --help`)\n\
+                 \x20 trace [options]       deterministic per-tick trace of one scenario,\n\
+                 \x20                       written to TRACE_<label>.json/.jsonl (see `trace --help`)\n\
+                 \x20 trace-diff A B        first diverging tick/phase between two traces\n\
                  For tables and figures: cargo run --release -p platoon-bench --bin report"
             );
             std::process::exit(if args.is_empty() { 2 } else { 0 });
