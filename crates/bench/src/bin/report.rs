@@ -8,6 +8,7 @@
 //! cargo run --release -p platoon-bench --bin report -- robustness --quick
 //! cargo run --release -p platoon-bench --bin report -- trace --quick
 //! cargo run --release -p platoon-bench --bin report -- trace-diff A B
+//! cargo run --release -p platoon-bench --bin report -- corridor --quick
 //! ```
 
 fn main() {
@@ -24,6 +25,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("trace-diff") {
         std::process::exit(platoon_core::experiments::trace::diff_cli_main(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("corridor") {
+        std::process::exit(platoon_core::experiments::corridor::cli_main(&args[1..]));
+    }
     let mut quick = false;
     for arg in &args {
         match arg.as_str() {
@@ -31,13 +35,15 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: report [--quick] | report perf [options] | report robustness [options]\n\
-                     \x20      | report trace [options] | report trace-diff A B"
+                     \x20      | report trace [options] | report trace-diff A B\n\
+                     \x20      | report corridor [options]"
                 );
                 eprintln!("  --quick      shorter runs and fewer sweep points");
                 eprintln!("  perf         the perf grid (see `report perf --help`)");
                 eprintln!("  robustness   detection quality under benign faults (see `report robustness --help`)");
                 eprintln!("  trace        deterministic per-tick trace of one scenario (see `report trace --help`)");
                 eprintln!("  trace-diff   first diverging tick/phase between two traces");
+                eprintln!("  corridor     highway-scale multi-platoon corridor grid (see `report corridor --help`)");
                 return;
             }
             other => {

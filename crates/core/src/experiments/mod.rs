@@ -7,6 +7,7 @@
 
 pub mod ablations;
 pub mod common;
+pub mod corridor;
 pub mod figures;
 pub mod privacy;
 pub mod robustness;

@@ -89,7 +89,7 @@ impl ControlContext {
 ///
 /// Implementations are deliberately small state machines; see
 /// [`crate::cacc::CaccController`] for the platooning default.
-pub trait LongitudinalController: std::fmt::Debug + Send {
+pub trait LongitudinalController: std::fmt::Debug + Send + Sync {
     /// Computes the acceleration command for this control period.
     fn command(&mut self, ctx: &ControlContext) -> f64;
 

@@ -99,6 +99,16 @@ impl JoinerAgent {
         self
     }
 
+    /// Overrides the gap behind the world's tail vehicle the joiner drives
+    /// at (default 40 m). Corridor worlds pass a *negative* gap to place
+    /// the joiner up the road, alongside the platoon it wants to join —
+    /// the world tail there belongs to the rearmost platoon, kilometres
+    /// behind the lead platoon's leader.
+    pub fn with_trail_gap(mut self, gap: f64) -> Self {
+        self.trail_gap = gap;
+        self
+    }
+
     /// The campaign outcome so far.
     pub fn outcome(&self) -> JoinerOutcome {
         self.outcome

@@ -22,10 +22,11 @@ use crate::defense::{Defense, RejectReason};
 use crate::events::{Event, EventLog};
 use crate::fault::Fault;
 use crate::metrics::{score_alerts, DetectionSummary, MetricsCollector, RunSummary, TruthLabels};
+use crate::par;
 use crate::perf::PerfCounters;
 use crate::scenario::{AuthMode, CommsMode, ControllerKind, Scenario};
 use crate::trace::{TraceDetail, TracePhase, TraceRecord, Tracer};
-use crate::world::{AuthMaterial, CommState, HeardPeer, Rsu, VehicleNode, World};
+use crate::world::{AuthMaterial, CommState, HeardPeer, PlatoonLayout, Rsu, VehicleNode, World};
 use platoon_crypto::cert::{CertificateAuthority, PrincipalId};
 use platoon_crypto::keys::{KeyPair, SymmetricKey};
 use platoon_crypto::signature::Signer;
@@ -50,7 +51,8 @@ use platoon_proto::maneuver::{JoinOutcome, ManeuverEngine};
 use platoon_proto::membership::Roster;
 use platoon_proto::messages::{Beacon, PlatoonId, PlatoonMessage, Role};
 use platoon_v2x::medium::Receiver;
-use platoon_v2x::message::{ChannelKind, Delivery, Frame, NodeId, Payload};
+use platoon_v2x::message::{ChannelKind, Delivery, Frame, NodeId, Payload, Position};
+use platoon_v2x::spatial::SpatialGrid;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{HashMap, HashSet};
@@ -91,6 +93,22 @@ struct StepScratch {
     seen_pairs: HashSet<(NodeId, NodeId)>,
     /// Protocol dedup: (receiver, payload hash) already applied this step.
     seen_payloads: HashSet<(usize, u64)>,
+    /// Parallel sealing staging: (vehicle index, message, sealed nonce).
+    seal_jobs: Vec<(usize, PlatoonMessage, u64)>,
+}
+
+/// Outcome of the rng-free decode + authenticate pre-pass over one
+/// delivery, computed in parallel when the engine runs multi-threaded.
+/// Consumed in delivery order by the sequential protocol loop.
+#[derive(Debug, Default)]
+enum PreVerdict {
+    /// Receiver is not a vehicle: the delivery is skipped entirely.
+    #[default]
+    Skip,
+    /// The payload failed to decode as an envelope.
+    Undecodable,
+    /// Decoded; carries the engine-level authentication verdict.
+    Verified(Envelope, Result<PlatoonMessage, RejectReason>),
 }
 
 /// The simulation engine.
@@ -130,11 +148,20 @@ pub struct Engine {
     perf: PerfCounters,
     /// Optional per-tick trace sink (see [`crate::trace`]).
     tracer: Option<Box<dyn Tracer>>,
+    /// Intra-run worker threads for the shardable step phases (see
+    /// [`set_threads`](Self::set_threads)). Never affects results.
+    threads: usize,
+    /// Cumulative RF (frame, receiver) pairs the medium sampled — the
+    /// deterministic work metric the spatial index reduces.
+    medium_pairs: u64,
 }
 
 impl Engine {
-    /// Builds the world for a scenario: an already-formed platoon cruising
-    /// at the profile's initial speed with all gaps at their set-points.
+    /// Builds the world for a scenario: one or more already-formed platoons
+    /// cruising at the profile's initial speed with all gaps at their
+    /// set-points. With `scenario.platoons > 1` (corridor worlds) each
+    /// platoon gets its own id and leader; platoon 1 is the frontmost and
+    /// owns the manoeuvre engine.
     pub fn new(scenario: Scenario) -> Self {
         let mut ca = CertificateAuthority::new(
             PrincipalId(1_000_000),
@@ -143,12 +170,15 @@ impl Engine {
         let group_key = SymmetricKey::derive(&scenario.seed.to_be_bytes(), "platoon-group");
         let v0 = scenario.profile.initial_speed();
         let spacing = scenario.params.length + scenario.desired_gap;
-        let n = scenario.vehicles;
+        let per_platoon = scenario.vehicles;
+        let platoons = scenario.platoons.max(1);
+        let n = per_platoon * platoons;
 
         let mut vehicles = Vec::with_capacity(n);
-        for i in 0..n {
-            let principal = PrincipalId(i as u64);
-            let keypair = KeyPair::from_seed(scenario.seed.wrapping_mul(31).wrapping_add(i as u64));
+        for g in 0..n {
+            let (p, i) = (g / per_platoon, g % per_platoon);
+            let principal = PrincipalId(g as u64);
+            let keypair = KeyPair::from_seed(scenario.seed.wrapping_mul(31).wrapping_add(g as u64));
             let auth = match scenario.auth {
                 AuthMode::None => AuthMaterial::None,
                 AuthMode::GroupMac => AuthMaterial::GroupMac(group_key),
@@ -163,8 +193,11 @@ impl Engine {
                     ),
                 },
             };
-            // Leader at the front (largest x), followers behind.
-            let position = (n - 1 - i) as f64 * spacing + scenario.params.length;
+            // Leaders at the front of their platoons (largest x), platoon 1
+            // frontmost; later platoons trail by the inter-platoon spacing.
+            let position = (n - 1 - g) as f64 * spacing
+                + scenario.params.length
+                + (platoons - 1 - p) as f64 * scenario.platoon_spacing;
             let controller: Box<dyn LongitudinalController> = if i == 0 {
                 Box::new(platoon_dynamics::controller::CruiseController::new(v0))
             } else {
@@ -177,12 +210,12 @@ impl Engine {
             };
             vehicles.push(VehicleNode {
                 principal,
-                node: NodeId(i as u64),
+                node: NodeId(g as u64),
                 vehicle: Vehicle::new(scenario.params, position, v0),
                 sensors: SensorSuite::default(),
                 controller,
                 role: if i == 0 { Role::Leader } else { Role::Member },
-                platoon: PlatoonId(1),
+                platoon: PlatoonId(p as u32 + 1),
                 seq: 0,
                 nonce: 0,
                 comm: CommState::default(),
@@ -209,8 +242,10 @@ impl Engine {
             })
             .collect();
 
+        // The manoeuvre engine is platoon 1's: only its followers enter the
+        // roster. Other platoons in a corridor run cruise independently.
         let mut roster = Roster::new(PlatoonId(1), PrincipalId(0), scenario.max_platoon_size);
-        for v in vehicles.iter().skip(1) {
+        for v in vehicles.iter().take(per_platoon).skip(1) {
             roster
                 .admit_tail(v.principal)
                 .expect("initial platoon fits");
@@ -221,13 +256,7 @@ impl Engine {
         let medium = scenario.medium;
 
         Engine {
-            world: World {
-                time: 0.0,
-                vehicles,
-                rsus,
-                medium,
-                jammers: Vec::new(),
-            },
+            world: World::new(vehicles, rsus, medium, Vec::new()),
             ca,
             group_key,
             maneuvers,
@@ -243,8 +272,10 @@ impl Engine {
             detections: 0,
             pipeline: None,
             truth: None,
-            next_platoon_id: 2,
+            next_platoon_id: platoons as u32 + 1,
             steps_run: 0,
+            threads: 1,
+            medium_pairs: 0,
             service_was_down: vec![false; n],
             scratch: StepScratch::default(),
             perf: PerfCounters::default(),
@@ -256,6 +287,28 @@ impl Engine {
     /// Number of communication steps executed so far.
     pub fn steps_run(&self) -> u64 {
         self.steps_run
+    }
+
+    /// Sets the number of worker threads for the shardable per-vehicle step
+    /// phases (frame sealing, delivery verification, dynamics substeps).
+    ///
+    /// Results are **byte-identical for every thread count**: work is
+    /// sharded in contiguous index chunks and merged in vehicle order, and
+    /// every rng-consuming phase stays sequential. `1` (the default) runs
+    /// the plain sequential path with zero thread overhead.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Current intra-run worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Cumulative RF (frame, receiver) pairs the medium sampled across the
+    /// run — the deterministic work metric the spatial index reduces.
+    pub fn medium_pairs_considered(&self) -> u64 {
+        self.medium_pairs
     }
 
     /// Plugs in an adversary.
@@ -642,6 +695,7 @@ impl Engine {
             self.world
                 .medium
                 .step(now, &frames, &receivers, &self.world.jammers, &mut self.rng);
+        self.medium_pairs += step_stats.pairs_considered as u64;
         // Per-tick max delivery latency: canonical NaN when nothing landed
         // (the same convention as `per_frame_ratio` / `LinkStats::max_latency`).
         let tick_max_latency = deliveries
@@ -722,12 +776,21 @@ impl Engine {
 
     /// Seals a message according to the vehicle's credential material.
     fn seal(v: &mut VehicleNode, msg: &PlatoonMessage) -> Envelope {
+        if matches!(v.auth, AuthMaterial::EncryptedGroupMac(_)) {
+            v.nonce += 1;
+        }
+        Self::seal_prepared(v, msg, v.nonce)
+    }
+
+    /// Seal with a pre-reserved nonce: the rng/counter-free half of
+    /// [`Self::seal`], shardable across threads. Signatures are
+    /// deterministic (RFC 6979-style), so sealing draws no randomness.
+    fn seal_prepared(v: &VehicleNode, msg: &PlatoonMessage, nonce: u64) -> Envelope {
         match &v.auth {
             AuthMaterial::None => Envelope::plain(v.principal, msg),
             AuthMaterial::GroupMac(key) => Envelope::mac(v.principal, msg, key),
             AuthMaterial::EncryptedGroupMac(key) => {
-                v.nonce += 1;
-                Envelope::seal_encrypted(v.principal, msg, key, v.nonce)
+                Envelope::seal_encrypted(v.principal, msg, key, nonce)
             }
             AuthMaterial::Pki {
                 signer,
@@ -776,34 +839,87 @@ impl Engine {
         };
 
         // Beacons from every operational vehicle.
-        for v in self.world.vehicles.iter_mut() {
-            if !v.platooning_enabled {
-                continue;
+        if self.threads > 1 {
+            // Sharded sealing. The rng-consuming half (GPS measurement,
+            // seq/nonce counters) runs sequentially in vehicle order first —
+            // exactly the draws the sequential loop makes — then the pure
+            // seal + encode work (MACs, encryption, deterministic
+            // signatures) fans out, and frames are pushed in vehicle order.
+            let mut jobs = std::mem::take(&mut self.scratch.seal_jobs);
+            jobs.clear();
+            for (idx, v) in self.world.vehicles.iter_mut().enumerate() {
+                if !v.platooning_enabled {
+                    continue;
+                }
+                let beacon = Self::beacon_for(v, now, &mut self.rng);
+                if matches!(v.auth, AuthMaterial::EncryptedGroupMac(_)) {
+                    v.nonce += 1;
+                }
+                jobs.push((idx, PlatoonMessage::Beacon(beacon), v.nonce));
             }
-            let beacon = Self::beacon_for(v, now, &mut self.rng);
-            let env = Self::seal(v, &PlatoonMessage::Beacon(beacon));
-            let payload: Payload = env.encode().into();
-            self.perf.bytes_encoded += payload.len() as u64;
-            self.perf.frames_built += 1;
-            self.perf.frame_bytes += payload.len() as u64;
-            frames.push(Frame {
-                sender: v.node,
-                origin: v.position(),
-                power_dbm: power,
-                channel: ChannelKind::Dsrc,
-                payload: payload.clone(),
-            });
-            if let Some(channel) = hybrid_channel {
+            let vehicles = &self.world.vehicles;
+            let payloads: Vec<Payload> =
+                par::map_indexed(&jobs, self.threads, |_, (idx, msg, nonce)| {
+                    Self::seal_prepared(&vehicles[*idx], msg, *nonce)
+                        .encode()
+                        .into()
+                });
+            for ((idx, _, _), payload) in jobs.iter().zip(payloads) {
+                let v = &self.world.vehicles[*idx];
+                self.perf.bytes_encoded += payload.len() as u64;
                 self.perf.frames_built += 1;
                 self.perf.frame_bytes += payload.len() as u64;
-                self.perf.payload_clones_avoided += 1;
                 frames.push(Frame {
                     sender: v.node,
                     origin: v.position(),
                     power_dbm: power,
-                    channel,
-                    payload,
+                    channel: ChannelKind::Dsrc,
+                    payload: payload.clone(),
                 });
+                if let Some(channel) = hybrid_channel {
+                    self.perf.frames_built += 1;
+                    self.perf.frame_bytes += payload.len() as u64;
+                    self.perf.payload_clones_avoided += 1;
+                    frames.push(Frame {
+                        sender: v.node,
+                        origin: v.position(),
+                        power_dbm: power,
+                        channel,
+                        payload,
+                    });
+                }
+            }
+            self.scratch.seal_jobs = jobs;
+        } else {
+            for v in self.world.vehicles.iter_mut() {
+                if !v.platooning_enabled {
+                    continue;
+                }
+                let beacon = Self::beacon_for(v, now, &mut self.rng);
+                let env = Self::seal(v, &PlatoonMessage::Beacon(beacon));
+                let payload: Payload = env.encode().into();
+                self.perf.bytes_encoded += payload.len() as u64;
+                self.perf.frames_built += 1;
+                self.perf.frame_bytes += payload.len() as u64;
+                frames.push(Frame {
+                    sender: v.node,
+                    origin: v.position(),
+                    power_dbm: power,
+                    channel: ChannelKind::Dsrc,
+                    payload: payload.clone(),
+                });
+                if let Some(channel) = hybrid_channel {
+                    self.perf.frames_built += 1;
+                    self.perf.frame_bytes += payload.len() as u64;
+                    self.perf.payload_clones_avoided += 1;
+                    frames.push(Frame {
+                        sender: v.node,
+                        origin: v.position(),
+                        power_dbm: power,
+                        channel,
+                        payload,
+                    });
+                }
             }
         }
 
@@ -883,21 +999,33 @@ impl Engine {
 
     /// Engine-level authentication per the deployed key scheme.
     fn authenticate(&self, env: &Envelope, now: f64) -> Result<PlatoonMessage, RejectReason> {
-        match self.scenario.auth {
+        Self::authenticate_with(self.scenario.auth, &self.group_key, &self.ca, env, now)
+    }
+
+    /// The borrow-friendly body of [`Self::authenticate`]: pure verification
+    /// against immutable key material, shardable across threads.
+    fn authenticate_with(
+        auth: AuthMode,
+        group_key: &SymmetricKey,
+        ca: &CertificateAuthority,
+        env: &Envelope,
+        now: f64,
+    ) -> Result<PlatoonMessage, RejectReason> {
+        match auth {
             AuthMode::None => env.open_unverified().map_err(|_| RejectReason::AuthFailed),
             AuthMode::GroupMac => env
-                .verify_mac(&self.group_key)
+                .verify_mac(group_key)
                 .map_err(|_| RejectReason::AuthFailed),
             AuthMode::EncryptedGroupMac => env
-                .open_encrypted(&self.group_key)
+                .open_encrypted(group_key)
                 .map_err(|_| RejectReason::AuthFailed),
             AuthMode::Pki => {
                 if let platoon_proto::envelope::AuthScheme::Signed { certificate, .. } = &env.auth {
-                    if self.ca.is_revoked(certificate.serial()) {
+                    if ca.is_revoked(certificate.serial()) {
                         return Err(RejectReason::Distrusted);
                     }
                 }
-                env.verify_signed(&self.ca.public(), self.ca.id(), now)
+                env.verify_signed(&ca.public(), ca.id(), now)
                     .map_err(|_| RejectReason::AuthFailed)
             }
         }
@@ -923,7 +1051,58 @@ impl Engine {
         // exact per-delivery stream the detectors saw before.
         let mut observations = std::mem::take(&mut self.scratch.observations);
         observations.clear();
-        for delivery in deliveries {
+        // Rng-free pre-pass: envelope decode + cryptographic verification,
+        // sharded across threads. Safe because the identity maps, the key
+        // material and the CA are immutable for the duration of the delivery
+        // loop; all stateful work (PDR accounting, defenses, protocol
+        // application) stays sequential below, in delivery order.
+        let mut pre: Option<Vec<PreVerdict>> = if self.threads > 1 && deliveries.len() > 1 {
+            let world = &self.world;
+            let auth_mode = self.scenario.auth;
+            let group_key = &self.group_key;
+            let ca = &self.ca;
+            Some(par::map_indexed(deliveries, self.threads, |_, delivery| {
+                if world.index_of_node(delivery.receiver).is_none() {
+                    return PreVerdict::Skip;
+                }
+                match Envelope::decode(&delivery.payload) {
+                    Ok(env) => {
+                        let verdict = Self::authenticate_with(auth_mode, group_key, ca, &env, now);
+                        PreVerdict::Verified(env, verdict)
+                    }
+                    Err(_) => PreVerdict::Undecodable,
+                }
+            }))
+        } else {
+            None
+        };
+        // Co-location context for the detector observations: with a finite
+        // radio horizon the all-vehicle scan per observation becomes a grid
+        // query. Positions are frozen for the whole delivery loop (kinematics
+        // only change in the integration phase), so one grid serves all
+        // deliveries this step.
+        let coloc: Option<(SpatialGrid, f64)> =
+            if self.pipeline.is_some() && self.world.medium.radio_horizon_m.is_finite() {
+                let positions: Vec<Position> = self
+                    .world
+                    .vehicles
+                    .iter()
+                    .map(|v| (v.vehicle.state.position, 0.0))
+                    .collect();
+                let radius = self
+                    .world
+                    .vehicles
+                    .iter()
+                    .map(|v| v.vehicle.params.length * 0.5)
+                    .fold(0.0, f64::max);
+                Some((SpatialGrid::build(radius.max(1.0), &positions), radius))
+            } else {
+                None
+            };
+        // Platoon layout cache for `apply_message`, invalidated whenever a
+        // manoeuvre rewrites platoon membership mid-loop.
+        let mut layout_cache: Option<PlatoonLayout> = None;
+        for (di, delivery) in deliveries.iter().enumerate() {
             let Some(rx_idx) = self.world.index_of_node(delivery.receiver) else {
                 continue; // RSU or attacker receiver; vehicles only here.
             };
@@ -936,11 +1115,19 @@ impl Engine {
                     delivery.latency,
                 );
             }
-            let Ok(env) = Envelope::decode(&delivery.payload) else {
-                continue;
+            let (env, auth_verdict) = match pre.as_mut().map(|p| std::mem::take(&mut p[di])) {
+                None => match Envelope::decode(&delivery.payload) {
+                    Ok(env) => {
+                        let verdict = self.authenticate(&env, now);
+                        (env, verdict)
+                    }
+                    Err(_) => continue,
+                },
+                Some(PreVerdict::Verified(env, verdict)) => (env, verdict),
+                Some(PreVerdict::Undecodable) | Some(PreVerdict::Skip) => continue,
             };
             // Engine-level authentication.
-            let msg = match self.authenticate(&env, now) {
+            let msg = match auth_verdict {
                 Ok(msg) => msg,
                 Err(reason) => {
                     self.rejected_messages += 1;
@@ -1012,9 +1199,10 @@ impl Engine {
                     &env,
                     &msg,
                     now,
+                    coloc.as_ref(),
                 ));
             }
-            self.apply_message(rx_idx, env.sender, &env, msg, now);
+            self.apply_message(rx_idx, env.sender, &env, msg, now, &mut layout_cache);
         }
         self.perf.detector_observations += observations.len() as u64;
         if let Some(pipeline) = self.pipeline.as_mut() {
@@ -1026,7 +1214,9 @@ impl Engine {
     }
 
     /// Translates one accepted delivery into the observation the receiver's
-    /// on-board IDS would see.
+    /// on-board IDS would see. `coloc` is an optional pre-built grid over
+    /// vehicle road positions (paired with the fleet's maximum half-length)
+    /// that turns the co-location scan into a range query.
     fn build_observation(
         world: &World,
         rx_idx: usize,
@@ -1034,6 +1224,7 @@ impl Engine {
         env: &Envelope,
         msg: &PlatoonMessage,
         now: f64,
+        coloc: Option<&(SpatialGrid, f64)>,
     ) -> MessageObservation {
         use platoon_proto::envelope::AuthScheme;
         let auth = match &env.auth {
@@ -1067,10 +1258,25 @@ impl Engine {
             _ => None,
         };
         let colocation_conflict = claimed_position.is_some_and(|claimed| {
-            world.vehicles.iter().any(|v| {
-                v.principal != env.sender
-                    && (v.vehicle.state.position - claimed).abs() < v.vehicle.params.length * 0.5
-            })
+            match coloc {
+                // Grid path: every vehicle matching the per-vehicle predicate
+                // lies within the fleet's max half-length of the claim, so
+                // querying at that radius and re-applying the exact predicate
+                // reproduces the scan's answer.
+                Some((grid, radius)) if claimed.is_finite() => {
+                    grid.any_within((claimed, 0.0), *radius, |i| {
+                        let v = &world.vehicles[i];
+                        v.principal != env.sender
+                            && (v.vehicle.state.position - claimed).abs()
+                                < v.vehicle.params.length * 0.5
+                    })
+                }
+                _ => world.vehicles.iter().any(|v| {
+                    v.principal != env.sender
+                        && (v.vehicle.state.position - claimed).abs()
+                            < v.vehicle.params.length * 0.5
+                }),
+            }
         });
         let ctx = ObserverContext {
             observer: rx_idx,
@@ -1211,6 +1417,12 @@ impl Engine {
         }
     }
 
+    /// Looks up (or lazily computes) the delivery loop's platoon layout.
+    /// Callers must clear the cache after any platoon-membership mutation.
+    fn layout_of<'a>(world: &World, cache: &'a mut Option<PlatoonLayout>) -> &'a PlatoonLayout {
+        cache.get_or_insert_with(|| world.platoon_layout())
+    }
+
     fn apply_message(
         &mut self,
         rx_idx: usize,
@@ -1218,13 +1430,15 @@ impl Engine {
         env: &Envelope,
         msg: PlatoonMessage,
         now: f64,
+        layout: &mut Option<PlatoonLayout>,
     ) {
         match msg {
             PlatoonMessage::Beacon(b) => {
                 self.claimed_positions
                     .insert(claimed_sender, (b.position, now));
-                let local_idx = self.world.platoon_local_index(rx_idx);
-                let leader_idx = self.world.platoon_leader_index(rx_idx);
+                let cached = Self::layout_of(&self.world, layout);
+                let local_idx = cached.local_index[rx_idx];
+                let leader_idx = cached.leader_index[rx_idx];
                 let peer = CommPeer {
                     position: b.position,
                     speed: b.speed,
@@ -1350,16 +1564,20 @@ impl Engine {
                 // Members obey a split claimed to come from their platoon
                 // leader. (Authentication — or its absence — already
                 // happened; this check is the protocol-level authorisation.)
-                let leader_idx = self.world.platoon_leader_index(rx_idx);
+                let cached = Self::layout_of(&self.world, layout);
+                let leader_idx = cached.leader_index[rx_idx];
+                let local_idx = cached.local_index[rx_idx];
                 let leader_principal = self.world.vehicles[leader_idx].principal;
                 if claimed_sender != leader_principal
                     || self.world.vehicles[rx_idx].platoon != platoon
                 {
                     return;
                 }
-                let local_idx = self.world.platoon_local_index(rx_idx);
                 if local_idx >= at_index as usize && local_idx > 0 {
                     self.execute_split_membership(rx_idx, new_platoon, now);
+                    // Membership changed: later deliveries this step must
+                    // recompute the layout.
+                    *layout = None;
                 }
             }
             PlatoonMessage::GapOpen {
@@ -1368,14 +1586,15 @@ impl Engine {
                 extra_gap,
                 ..
             } => {
-                let leader_idx = self.world.platoon_leader_index(rx_idx);
+                let cached = Self::layout_of(&self.world, layout);
+                let leader_idx = cached.leader_index[rx_idx];
+                let local_idx = cached.local_index[rx_idx];
                 let leader_principal = self.world.vehicles[leader_idx].principal;
                 if claimed_sender != leader_principal
                     || self.world.vehicles[rx_idx].platoon != platoon
                 {
                     return;
                 }
-                let local_idx = self.world.platoon_local_index(rx_idx);
                 if local_idx == slot as usize {
                     let v = &mut self.world.vehicles[rx_idx];
                     v.extra_front_gap = extra_gap;
@@ -1472,11 +1691,14 @@ impl Engine {
         commands.resize(n, 0.0);
         self.perf.commands_computed += n as u64;
 
+        // One O(n) layout pass replaces the per-vehicle O(n) local-index
+        // scans (membership cannot change while commands are computed).
+        let layout = self.world.platoon_layout();
         // Indexed loop on purpose: the body needs simultaneous &mut access
         // to `commands[idx]` and `self` (for contexts and controllers).
         #[allow(clippy::needless_range_loop)]
         for idx in 0..n {
-            let local_idx = self.world.platoon_local_index(idx);
+            let local_idx = layout.local_index[idx];
             if !self.world.vehicles[idx].platooning_enabled && local_idx > 0 {
                 // Platooning service down: fall back to radar-only ACC-like
                 // behaviour to avoid modelling a driverless brick.
@@ -1567,10 +1789,22 @@ impl Engine {
         let substeps = (self.scenario.comm_step / self.scenario.dyn_step).round() as usize;
         let dt = self.scenario.dyn_step;
         let n = self.world.vehicles.len();
+        // Membership is stable during integration: one layout serves every
+        // substep's fuel accounting.
+        let layout = self.world.platoon_layout();
 
         for _ in 0..substeps.max(1) {
-            for v in self.world.vehicles.iter_mut() {
-                v.vehicle.step(dt);
+            if self.threads > 1 {
+                // Per-vehicle dynamics are independent and rng-free; shard
+                // them in contiguous index chunks (results land in each
+                // vehicle's own state, so order cannot leak through).
+                par::for_each_mut(&mut self.world.vehicles, self.threads, |_, v| {
+                    v.vehicle.step(dt);
+                });
+            } else {
+                for v in self.world.vehicles.iter_mut() {
+                    v.vehicle.step(dt);
+                }
             }
             // Safety observation per substep (collisions are fast).
             for idx in 1..n {
@@ -1597,7 +1831,7 @@ impl Engine {
             }
             // Fuel per substep.
             for idx in 0..n {
-                let local_idx = self.world.platoon_local_index(idx);
+                let local_idx = layout.local_index[idx];
                 let gap = if idx > 0 {
                     self.world.true_gap(idx).expect("idx > 0").max(0.0)
                 } else {

@@ -48,6 +48,7 @@ pub mod events;
 pub mod fault;
 pub mod harness;
 pub mod metrics;
+pub mod par;
 pub mod perf;
 pub mod scenario;
 pub mod trace;

@@ -84,6 +84,14 @@ pub struct Scenario {
     pub medium: RadioMedium,
     /// Maximum platoon size (roster capacity).
     pub max_platoon_size: usize,
+    /// Number of independent platoons on the corridor (each of
+    /// [`Self::vehicles`] trucks). `1` is the classic single-platoon world;
+    /// larger values build highway-scale worlds where platoon 1 leads and
+    /// owns the manoeuvre engine.
+    pub platoons: usize,
+    /// Bumper-to-bumper distance between consecutive platoons in metres
+    /// (only meaningful when [`Self::platoons`] > 1).
+    pub platoon_spacing: f64,
 }
 
 impl Default for Scenario {
@@ -119,6 +127,8 @@ impl Scenario {
                 maneuvers: ManeuverConfig::default(),
                 medium: RadioMedium::default(),
                 max_platoon_size: 16,
+                platoons: 1,
+                platoon_spacing: 150.0,
             },
         }
     }
@@ -215,6 +225,28 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the number of independent platoons on the corridor (each of
+    /// `vehicles` trucks; platoon 1 leads and owns the manoeuvre engine).
+    pub fn platoons(mut self, n: usize) -> Self {
+        self.scenario.platoons = n;
+        self
+    }
+
+    /// Sets the bumper-to-bumper distance between consecutive platoons.
+    pub fn platoon_spacing(mut self, metres: f64) -> Self {
+        self.scenario.platoon_spacing = metres;
+        self
+    }
+
+    /// Sets the medium's radio horizon in metres: beyond this distance
+    /// frames are treated as undetectable and the medium switches from the
+    /// all-pairs scan to a spatial-grid index. `f64::INFINITY` (the
+    /// default) keeps the exact legacy full-scan behaviour.
+    pub fn radio_horizon(mut self, metres: f64) -> Self {
+        self.scenario.medium.radio_horizon_m = metres;
+        self
+    }
+
     /// Finalises the scenario.
     ///
     /// # Panics
@@ -238,6 +270,11 @@ impl ScenarioBuilder {
         );
         assert!(s.duration >= s.comm_step, "duration shorter than one step");
         assert!(s.max_platoon_size >= s.vehicles, "platoon exceeds max size");
+        assert!(s.platoons >= 1, "at least one platoon");
+        assert!(
+            s.platoon_spacing.is_finite() && s.platoon_spacing >= 0.0,
+            "platoon spacing must be finite and non-negative"
+        );
         s
     }
 }

@@ -12,6 +12,7 @@ use platoon_proto::messages::{PlatoonId, Role};
 use platoon_v2x::jamming::Jammer;
 use platoon_v2x::medium::RadioMedium;
 use platoon_v2x::message::{NodeId, Payload, Position};
+use std::collections::HashMap;
 
 /// Credential material a vehicle uses to seal outgoing messages.
 #[derive(Clone, Debug)]
@@ -171,16 +172,91 @@ pub struct World {
     pub medium: RadioMedium,
     /// Active jammers (attacks add and remove these).
     pub jammers: Vec<Jammer>,
+    /// Principal → vehicle index, rebuilt on membership mutation.
+    principal_lookup: HashMap<PrincipalId, usize>,
+    /// Radio node → vehicle index, rebuilt on membership mutation.
+    node_lookup: HashMap<NodeId, usize>,
+}
+
+/// Per-tick platoon layout computed in one O(n) pass, replacing the
+/// per-vehicle [`World::platoon_local_index`] / [`World::platoon_leader_index`]
+/// scans (O(n²) per tick) in the engine's hot loops.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PlatoonLayout {
+    /// `local_index[i]`: how many vehicles ahead of `i` share its platoon.
+    pub local_index: Vec<usize>,
+    /// `leader_index[i]`: index of the vehicle leading `i`'s platoon.
+    pub leader_index: Vec<usize>,
 }
 
 impl World {
+    /// Builds a world and its identity lookup maps.
+    pub fn new(
+        vehicles: Vec<VehicleNode>,
+        rsus: Vec<Rsu>,
+        medium: RadioMedium,
+        jammers: Vec<Jammer>,
+    ) -> Self {
+        let mut world = World {
+            time: 0.0,
+            vehicles,
+            rsus,
+            medium,
+            jammers,
+            principal_lookup: HashMap::new(),
+            node_lookup: HashMap::new(),
+        };
+        world.rebuild_lookup();
+        world
+    }
+
+    /// Rebuilds the identity lookup maps. Must be called after any mutation
+    /// that adds, removes or re-identifies vehicles. (Plain state mutation —
+    /// positions, flags, comm state — does not require a rebuild.) Staleness
+    /// from added/removed vehicles is self-detected via a length check, in
+    /// which case lookups fall back to a linear scan.
+    pub fn rebuild_lookup(&mut self) {
+        self.principal_lookup.clear();
+        self.node_lookup.clear();
+        for (i, v) in self.vehicles.iter().enumerate() {
+            self.principal_lookup.insert(v.principal, i);
+            self.node_lookup.insert(v.node, i);
+        }
+    }
+
+    /// Whether the lookup maps cover the current vehicle roster.
+    fn lookup_fresh(&self) -> bool {
+        self.principal_lookup.len() == self.vehicles.len()
+            && self.node_lookup.len() == self.vehicles.len()
+    }
+
     /// Index of the vehicle with the given principal, if any.
     pub fn index_of(&self, principal: PrincipalId) -> Option<usize> {
+        if self.lookup_fresh() {
+            let found = self.principal_lookup.get(&principal).copied();
+            if let Some(i) = found {
+                debug_assert_eq!(
+                    self.vehicles[i].principal, principal,
+                    "stale principal lookup: call rebuild_lookup after membership changes"
+                );
+            }
+            return found;
+        }
         self.vehicles.iter().position(|v| v.principal == principal)
     }
 
     /// Index of the vehicle with the given radio node, if any.
     pub fn index_of_node(&self, node: NodeId) -> Option<usize> {
+        if self.lookup_fresh() {
+            let found = self.node_lookup.get(&node).copied();
+            if let Some(i) = found {
+                debug_assert_eq!(
+                    self.vehicles[i].node, node,
+                    "stale node lookup: call rebuild_lookup after membership changes"
+                );
+            }
+            return found;
+        }
         self.vehicles.iter().position(|v| v.node == node)
     }
 
@@ -222,6 +298,26 @@ impl World {
             .iter()
             .position(|v| v.platoon == pid)
             .expect("vehicle idx itself matches")
+    }
+
+    /// Computes every vehicle's platoon-local index and leader index in one
+    /// pass. Equals calling [`Self::platoon_local_index`] /
+    /// [`Self::platoon_leader_index`] per vehicle, at O(n) instead of O(n²).
+    pub fn platoon_layout(&self) -> PlatoonLayout {
+        let n = self.vehicles.len();
+        let mut layout = PlatoonLayout {
+            local_index: Vec::with_capacity(n),
+            leader_index: Vec::with_capacity(n),
+        };
+        // (members seen so far, index of first member) per platoon.
+        let mut seen: HashMap<PlatoonId, (usize, usize)> = HashMap::new();
+        for (i, v) in self.vehicles.iter().enumerate() {
+            let entry = seen.entry(v.platoon).or_insert((0, i));
+            layout.local_index.push(entry.0);
+            layout.leader_index.push(entry.1);
+            entry.0 += 1;
+        }
+        layout
     }
 
     /// Number of distinct platoon ids present (fragmentation metric).

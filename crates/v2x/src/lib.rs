@@ -11,6 +11,8 @@
 //!   C-V2X semi-persistent slots and VLC optical links.
 //! * [`vlc`] — the line-of-sight visible-light channel used by the SP-VLC
 //!   hybrid defense.
+//! * [`spatial`] — uniform-grid index turning all-pairs reception scans into
+//!   range queries for highway-scale (multi-platoon) worlds.
 //! * [`jamming`] — continuous / periodic / reactive RF jammers.
 //! * [`stats`] — PDR, latency and beacon-age accounting.
 //!
@@ -47,6 +49,7 @@ pub mod channel;
 pub mod jamming;
 pub mod medium;
 pub mod message;
+pub mod spatial;
 pub mod stats;
 pub mod vlc;
 
@@ -56,6 +59,7 @@ pub mod prelude {
     pub use crate::jamming::{Jammer, JammingStrategy};
     pub use crate::medium::{RadioMedium, Receiver, StepStats};
     pub use crate::message::{distance, ChannelKind, Delivery, Frame, NodeId, Payload, Position};
+    pub use crate::spatial::SpatialGrid;
     pub use crate::stats::{BeaconAgeTracker, LinkStats};
     pub use crate::vlc::VlcPhy;
 }
@@ -98,6 +102,36 @@ mod proptests {
             let phy = DsrcPhy::default();
             let (near, far) = if d1 < d2 { (d1, d2) } else { (d2, d1) };
             prop_assert!(phy.median_rx_power_dbm(20.0, near) >= phy.median_rx_power_dbm(20.0, far));
+        }
+
+        /// A covering radio horizon reproduces the all-pairs scan exactly on
+        /// arbitrary geometry: identical deliveries, stats and rng stream.
+        #[test]
+        fn covering_horizon_step_equals_scan(
+            xs in proptest::collection::vec((-3000.0f64..3000.0, -30.0f64..30.0), 1..10),
+            n_rx in 1usize..8,
+            seed in 0u64..200,
+        ) {
+            let scan = RadioMedium::default();
+            let indexed = RadioMedium { radio_horizon_m: 50_000.0, ..RadioMedium::default() };
+            let frames: Vec<Frame> = xs.iter().enumerate().map(|(i, &origin)| Frame {
+                sender: NodeId(i as u64),
+                origin,
+                power_dbm: 20.0,
+                channel: if i % 3 == 0 { ChannelKind::CV2x } else { ChannelKind::Dsrc },
+                payload: vec![i as u8; 50].into(),
+            }).collect();
+            let receivers: Vec<Receiver> = (0..n_rx).map(|i| Receiver {
+                id: NodeId(i as u64),
+                position: (i as f64 * 40.0 - 500.0, (i % 3) as f64 * 3.5),
+            }).collect();
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let (da, sa) = scan.step(0.0, &frames, &receivers, &[], &mut rng_a);
+            let (db, sb) = indexed.step(0.0, &frames, &receivers, &[], &mut rng_b);
+            prop_assert_eq!(da, db);
+            prop_assert_eq!(sa, sb);
+            prop_assert_eq!(rand::RngCore::next_u64(&mut rng_a), rand::RngCore::next_u64(&mut rng_b));
         }
 
         /// PDR is always within [0, 1].

@@ -20,6 +20,7 @@
 use crate::channel::{dbm_to_mw, DsrcPhy};
 use crate::jamming::Jammer;
 use crate::message::{distance, ChannelKind, Delivery, Frame, NodeId, Position};
+use crate::spatial::SpatialGrid;
 use crate::vlc::VlcPhy;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -47,6 +48,11 @@ pub struct StepStats {
     /// (frame, receiver) pairs lost to SINR failure (fading, jamming or
     /// collision).
     pub lost: usize,
+    /// RF (frame, receiver) pairs whose received power was sampled. Under a
+    /// finite [`RadioMedium::radio_horizon_m`] this is the spatial index's
+    /// candidate count; under the default infinite horizon it is the full
+    /// all-pairs count — the ratio is the index's deterministic work saving.
+    pub pairs_considered: usize,
 }
 
 /// The broadcast medium configuration.
@@ -60,6 +66,15 @@ pub struct RadioMedium {
     pub step_len: f64,
     /// C-V2X semi-persistent-schedule slot count per step.
     pub cv2x_slots: usize,
+    /// RF reception horizon in metres. `f64::INFINITY` (the default)
+    /// reproduces the seed semantics exactly: every (frame, receiver) pair
+    /// is evaluated by an all-pairs scan. A finite horizon enables the
+    /// [`SpatialGrid`] fast path: receivers beyond the horizon never hear a
+    /// frame and interferers beyond the horizon of a receiver contribute
+    /// nothing. When the horizon covers the whole world the indexed path
+    /// enumerates exactly the scan's pairs in the scan's order, so results
+    /// (including the rng stream) are byte-identical.
+    pub radio_horizon_m: f64,
 }
 
 impl Default for RadioMedium {
@@ -69,6 +84,7 @@ impl Default for RadioMedium {
             vlc: VlcPhy::default(),
             step_len: 0.1,
             cv2x_slots: 100,
+            radio_horizon_m: f64::INFINITY,
         }
     }
 }
@@ -113,7 +129,15 @@ impl RadioMedium {
             .filter(|f| f.channel == ChannelKind::CV2x)
             .collect();
 
+        // With a finite radio horizon, index receiver positions once and
+        // frame origins per channel so delivery becomes range queries.
+        let rx_grid = self.radio_horizon_m.is_finite().then(|| {
+            let positions: Vec<Position> = receivers.iter().map(|r| r.position).collect();
+            SpatialGrid::build(self.grid_cell(), &positions)
+        });
+
         let scheduled = self.schedule_csma(&dsrc_frames, rng);
+        let frame_grid = rx_grid.as_ref().map(|_| self.frame_grid(&scheduled));
         self.deliver_rf(
             now,
             ChannelKind::Dsrc,
@@ -121,12 +145,14 @@ impl RadioMedium {
             receivers,
             jammers,
             traffic_on_air,
+            rx_grid.as_ref().zip(frame_grid.as_ref()),
             &mut deliveries,
             &mut stats,
             rng,
         );
 
         let cv2x_scheduled = self.schedule_sps(&cv2x_frames);
+        let cv2x_frame_grid = rx_grid.as_ref().map(|_| self.frame_grid(&cv2x_scheduled));
         self.deliver_rf(
             now,
             ChannelKind::CV2x,
@@ -134,6 +160,7 @@ impl RadioMedium {
             receivers,
             jammers,
             traffic_on_air,
+            rx_grid.as_ref().zip(cv2x_frame_grid.as_ref()),
             &mut deliveries,
             &mut stats,
             rng,
@@ -163,6 +190,18 @@ impl RadioMedium {
         (deliveries, stats)
     }
 
+    /// Cell size for spatial grids under a finite horizon: one horizon per
+    /// cell, so a radius-`horizon` query touches at most a 3×3 block.
+    fn grid_cell(&self) -> f64 {
+        self.radio_horizon_m.max(1.0)
+    }
+
+    /// Grid over scheduled frame origins (for interference range queries).
+    fn frame_grid(&self, scheduled: &[ScheduledFrame]) -> SpatialGrid {
+        let origins: Vec<Position> = scheduled.iter().map(|s| s.frame.origin).collect();
+        SpatialGrid::build(self.grid_cell(), &origins)
+    }
+
     /// CSMA/CA-lite: random contention offsets, then defer to any earlier
     /// overlapping transmission the sender can hear.
     fn schedule_csma<R: Rng + ?Sized>(
@@ -184,10 +223,45 @@ impl RadioMedium {
             .collect();
         sched.sort_by(|a, b| a.start.total_cmp(&b.start));
 
-        // Defer pass: each sender listens before transmitting.
+        // Defer pass: each sender listens before transmitting. The pass is
+        // order-independent in j: `deferred_start` is the max of qualifying
+        // ends, and a skipped j can only be one whose `heard` test would
+        // have failed — so pruning by a carrier-sense range is exact.
+        //
+        // Under a finite horizon, prune candidate earlier senders to those
+        // within the carrier-sense range of the *loudest* frame: beyond
+        // that distance even the loudest frame's median power is below
+        // CARRIER_SENSE_DBM, so `heard` is false for every frame.
+        let cs_index = (self.radio_horizon_m.is_finite() && sched.len() > 1).then(|| {
+            let origins: Vec<Position> = sched.iter().map(|s| s.frame.origin).collect();
+            let loudest = sched
+                .iter()
+                .map(|s| s.frame.power_dbm)
+                .fold(f64::NEG_INFINITY, f64::max);
+            let cs_range = self
+                .dsrc
+                .range_for_median_power_m(loudest, CARRIER_SENSE_DBM);
+            (SpatialGrid::build(cs_range.max(1.0), &origins), cs_range)
+        });
+        let mut in_range: Vec<u32> = Vec::new();
         for i in 1..sched.len() {
             let mut deferred_start = sched[i].start;
-            for j in 0..i {
+            let candidates: &[u32] = match &cs_index {
+                Some((grid, cs_range)) => {
+                    grid.query_within(sched[i].frame.origin, *cs_range, &mut in_range);
+                    &in_range
+                }
+                None => {
+                    in_range.clear();
+                    in_range.extend(0..i as u32);
+                    &in_range
+                }
+            };
+            for &j in candidates {
+                let j = j as usize;
+                if j >= i {
+                    continue;
+                }
                 if sched[j].end > deferred_start {
                     // Can sender i hear sender j?
                     let d = distance(sched[i].frame.origin, sched[j].frame.origin);
@@ -224,6 +298,17 @@ impl RadioMedium {
             .collect()
     }
 
+    /// Samples reception for every (frame, receiver) pair.
+    ///
+    /// `index` (receiver grid + frame-origin grid) is `Some` iff the radio
+    /// horizon is finite. The indexed path visits, in ascending index order,
+    /// exactly the receivers within one horizon of the frame origin and the
+    /// interferer frames within two horizons (by the triangle inequality a
+    /// superset of "within one horizon of any candidate receiver"), then
+    /// applies the exact per-pair predicates. Because candidate order is
+    /// ascending — never bucket order — the rng draw sequence and the
+    /// floating-point interference sums match the all-pairs scan whenever
+    /// the horizon covers the geometry.
     #[allow(clippy::too_many_arguments)]
     fn deliver_rf<R: Rng + ?Sized>(
         &self,
@@ -233,28 +318,61 @@ impl RadioMedium {
         receivers: &[Receiver],
         jammers: &[Jammer],
         traffic_on_air: bool,
+        index: Option<(&SpatialGrid, &SpatialGrid)>,
         deliveries: &mut Vec<Delivery>,
         stats: &mut StepStats,
         rng: &mut R,
     ) {
+        let horizon = self.radio_horizon_m;
+        // Scan mode: fixed full candidate lists, identical to iterating the
+        // receiver and frame slices directly.
+        let (all_rx, all_frames): (Vec<u32>, Vec<u32>) = if index.is_none() {
+            (
+                (0..receivers.len() as u32).collect(),
+                (0..scheduled.len() as u32).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        let mut rx_cand: Vec<u32> = Vec::new();
+        let mut near_frames: Vec<u32> = Vec::new();
         for (i, sf) in scheduled.iter().enumerate() {
-            for rx in receivers {
+            let (rx_list, frame_list): (&[u32], &[u32]) = match index {
+                Some((rx_grid, frame_grid)) => {
+                    rx_grid.query_within(sf.frame.origin, horizon, &mut rx_cand);
+                    frame_grid.query_within(sf.frame.origin, 2.0 * horizon, &mut near_frames);
+                    (&rx_cand, &near_frames)
+                }
+                None => (&all_rx, &all_frames),
+            };
+            for &r in rx_list {
+                let rx = &receivers[r as usize];
                 if rx.id == sf.frame.sender {
                     continue;
                 }
+                stats.pairs_considered += 1;
                 let d = distance(sf.frame.origin, rx.position);
                 let signal_dbm = self.dsrc.sample_rx_power_dbm(sf.frame.power_dbm, d, rng);
 
                 // Interference: temporally overlapping frames on the same
                 // channel (hidden terminals) plus jammers targeting it.
                 let mut interference_mw = 0.0;
-                for (j, other) in scheduled.iter().enumerate() {
+                for &j in frame_list {
+                    let j = j as usize;
                     if i == j {
                         continue;
                     }
+                    let other = &scheduled[j];
                     let overlap = sf.start < other.end && other.start < sf.end;
                     if overlap {
                         let dj = distance(other.frame.origin, rx.position);
+                        // NaN distances count as out of range, like `deliver`.
+                        let in_horizon = dj <= horizon;
+                        if index.is_some() && !in_horizon {
+                            // Beyond the horizon this interferer is out of
+                            // range of the receiver by model definition.
+                            continue;
+                        }
                         interference_mw +=
                             dbm_to_mw(self.dsrc.median_rx_power_dbm(other.frame.power_dbm, dj));
                     }
@@ -477,6 +595,75 @@ mod tests {
             &mut rng,
         );
         assert_eq!(d.len(), 2, "C-V2X should survive a DSRC-band jammer");
+    }
+
+    #[test]
+    fn covering_horizon_is_byte_identical_to_scan() {
+        // A finite horizon that covers the whole geometry must reproduce the
+        // all-pairs scan exactly: same deliveries, same stats, and the same
+        // number of rng draws (the streams stay in lockstep).
+        let scan_medium = RadioMedium::default();
+        let indexed_medium = RadioMedium {
+            radio_horizon_m: 1.0e5,
+            ..RadioMedium::default()
+        };
+        let receivers = platoon_receivers(12, 35.0);
+        let frames: Vec<Frame> = (0..12)
+            .flat_map(|i| {
+                [
+                    frame(i, i as f64 * 35.0, ChannelKind::Dsrc),
+                    frame(i, i as f64 * 35.0, ChannelKind::CV2x),
+                ]
+            })
+            .collect();
+        let jammers = [Jammer::continuous((150.0, 5.0), 25.0)];
+        for seed in 0..20 {
+            let mut rng_scan = StdRng::seed_from_u64(seed);
+            let mut rng_idx = StdRng::seed_from_u64(seed);
+            let (d_scan, s_scan) =
+                scan_medium.step(0.0, &frames, &receivers, &jammers, &mut rng_scan);
+            let (d_idx, s_idx) =
+                indexed_medium.step(0.0, &frames, &receivers, &jammers, &mut rng_idx);
+            assert_eq!(d_scan, d_idx, "seed {seed}");
+            assert_eq!(s_scan, s_idx, "seed {seed}");
+            assert_eq!(
+                rand::RngCore::next_u64(&mut rng_scan),
+                rand::RngCore::next_u64(&mut rng_idx),
+                "rng streams diverged at seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn finite_horizon_prunes_far_pairs() {
+        // Two clusters far apart: a finite horizon between the intra- and
+        // inter-cluster distances must sample far fewer pairs than the scan
+        // and never deliver across clusters.
+        let medium = RadioMedium {
+            radio_horizon_m: 500.0,
+            ..RadioMedium::default()
+        };
+        let scan = RadioMedium::default();
+        let mut receivers = platoon_receivers(6, 25.0);
+        receivers.extend((0..6).map(|i| Receiver {
+            id: NodeId(100 + i as u64),
+            position: (50_000.0 + i as f64 * 25.0, 0.0),
+        }));
+        let frames: Vec<Frame> = (0..6)
+            .map(|i| frame(i, i as f64 * 25.0, ChannelKind::Dsrc))
+            .collect();
+        let (d_idx, s_idx) = medium.step(0.0, &frames, &receivers, &[], &mut rng());
+        let (_, s_scan) = scan.step(0.0, &frames, &receivers, &[], &mut rng());
+        assert!(d_idx.iter().all(|d| d.receiver.0 < 100));
+        assert!(
+            s_idx.pairs_considered < s_scan.pairs_considered,
+            "indexed {} vs scan {}",
+            s_idx.pairs_considered,
+            s_scan.pairs_considered
+        );
+        // The near cluster is fully inside the horizon: 6 frames × 5 peers.
+        assert_eq!(s_idx.pairs_considered, 30);
+        assert_eq!(s_scan.pairs_considered, 6 * 11);
     }
 
     #[test]

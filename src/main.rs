@@ -5,6 +5,7 @@
 //! cargo run --release -- robustness --quick  # fault grid → ROBUSTNESS_quick.json
 //! cargo run --release -- trace --quick       # traced run → TRACE_quick.jsonl
 //! cargo run --release -- trace-diff A B      # first diverging tick/phase
+//! cargo run --release -- corridor --quick    # corridor grid → CORRIDOR_quick.json
 //! cargo run --release -- perf --help         # all perf options
 //! ```
 //!
@@ -19,6 +20,9 @@ fn main() {
             std::process::exit(platoon_core::experiments::robustness::cli_main(&args[1..]))
         }
         Some("trace") => std::process::exit(platoon_core::experiments::trace::cli_main(&args[1..])),
+        Some("corridor") => {
+            std::process::exit(platoon_core::experiments::corridor::cli_main(&args[1..]))
+        }
         Some("trace-diff") => {
             std::process::exit(platoon_core::experiments::trace::diff_cli_main(&args[1..]))
         }
@@ -32,6 +36,9 @@ fn main() {
                  \x20 trace [options]       deterministic per-tick trace of one scenario,\n\
                  \x20                       written to TRACE_<label>.json/.jsonl (see `trace --help`)\n\
                  \x20 trace-diff A B        first diverging tick/phase between two traces\n\
+                 \x20 corridor [options]    highway-scale multi-platoon corridor, written to\n\
+                 \x20                       CORRIDOR_<label>.json + BENCH_corridor_<label>.json\n\
+                 \x20                       (see `corridor --help`)\n\
                  For tables and figures: cargo run --release -p platoon-bench --bin report"
             );
             std::process::exit(if args.is_empty() { 2 } else { 0 });
