@@ -154,15 +154,29 @@ pub fn corridor_arm(
     }
 }
 
-/// One cell of the corridor grid.
+/// One cell of the corridor grid. Public so the job service can enumerate
+/// the grid ([`grid`]) without re-deriving it.
 #[derive(Clone, Debug)]
-struct CellSpec {
-    label: &'static str,
-    per: usize,
-    platoons: usize,
-    duration: f64,
-    /// `None` = all-pairs (infinite horizon).
-    horizon: Option<f64>,
+pub struct CellSpec {
+    /// Cell label (seed derivation input).
+    pub label: &'static str,
+    /// Trucks per platoon.
+    pub per: usize,
+    /// Platoon count.
+    pub platoons: usize,
+    /// Run duration in seconds.
+    pub duration: f64,
+    /// Radio horizon in metres; `None` = all-pairs (infinite horizon).
+    pub horizon: Option<f64>,
+}
+
+/// The corridor grid for the given effort, in grid order.
+pub fn grid(quick: bool) -> &'static [CellSpec] {
+    if quick {
+        QUICK_GRID
+    } else {
+        FULL_GRID
+    }
 }
 
 /// The quick grid: one mid-size corridor in both medium configurations
@@ -259,7 +273,7 @@ pub struct CorridorReport {
 
 /// Runs the corridor grid with explicit worker and engine-thread counts.
 pub fn run_with(quick: bool, workers: usize, threads: usize) -> CorridorReport {
-    let grid = if quick { QUICK_GRID } else { FULL_GRID };
+    let grid = grid(quick);
     let mut batch: Batch<CorridorRun> = Batch::new(CORRIDOR_BASE_SEED);
     for spec in grid {
         let spec = spec.clone();

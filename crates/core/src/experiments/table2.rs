@@ -74,7 +74,11 @@ pub fn run(quick: bool) -> Vec<Table2Row> {
         .collect()
 }
 
-fn baseline_outcome(attack: &str, effort: Effort, seed: u64) -> ArmOutcome {
+/// The clean-baseline arm paired with an attack row: same scenario and
+/// workload, no attack (except the DoS baseline, which keeps the legitimate
+/// joiner so the latency metric stays comparable). Public so the job
+/// service can execute Table II cells by name.
+pub fn baseline_outcome(attack: &str, effort: Effort, seed: u64) -> ArmOutcome {
     use super::common::{base_scenario, brake_profile, legit_joiner};
     use platoon_sim::prelude::Engine;
 

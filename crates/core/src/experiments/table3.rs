@@ -38,6 +38,44 @@ impl Table3Cell {
     }
 }
 
+/// The flattened Table III claim matrix: every `(mechanism, attack,
+/// variant)` triple the experiment measures, in row order. `variant` is the
+/// mechanism actually instantiated (`mechanism_variant`). Public so the
+/// job service can enumerate the grid without re-deriving the claim logic.
+pub fn pairs() -> Vec<(String, String, String)> {
+    let mut pairs = Vec::new();
+    for mech in platoon_defense::registry::catalog() {
+        for attack in mech.mitigates {
+            pairs.push((
+                mech.name.to_string(),
+                attack.to_string(),
+                mechanism_variant(mech.name, attack),
+            ));
+        }
+        // The "keys" row also claims eavesdropping protection (encryption).
+        if mech.name == "keys" && !mech.mitigates.contains(&"eavesdrop") {
+            pairs.push((
+                "keys".to_string(),
+                "eavesdrop".to_string(),
+                "keys-encrypted".to_string(),
+            ));
+        }
+    }
+    pairs
+}
+
+/// The distinct attacks of [`pairs`], in first-appearance order — each
+/// contributes exactly one undefended arm to the batch.
+pub fn distinct_attacks() -> Vec<String> {
+    let mut attacks: Vec<String> = Vec::new();
+    for (_, attack, _) in pairs() {
+        if !attacks.contains(&attack) {
+            attacks.push(attack);
+        }
+    }
+    attacks
+}
+
 /// Mechanism override for specific pairs where the generic mapping needs a
 /// variant (e.g. confidentiality requires the encrypting key mode).
 fn mechanism_variant(mechanism: &str, attack: &str) -> String {
@@ -67,26 +105,12 @@ pub fn run(quick: bool) -> Vec<Table3Cell> {
     let effort = Effort::new(quick);
 
     // Flatten the claim matrix first, so the batch can be built in one pass.
-    let mut pairs: Vec<(&str, &str, String)> = Vec::new();
-    for mech in platoon_defense::registry::catalog() {
-        for attack in mech.mitigates {
-            pairs.push((mech.name, attack, mechanism_variant(mech.name, attack)));
-        }
-        // The "keys" row also claims eavesdropping protection (encryption).
-        if mech.name == "keys" && !mech.mitigates.contains(&"eavesdrop") {
-            pairs.push(("keys", "eavesdrop", "keys-encrypted".to_string()));
-        }
-    }
-    let mut attacks: Vec<&str> = Vec::new();
-    for (_, attack, _) in &pairs {
-        if !attacks.contains(attack) {
-            attacks.push(attack);
-        }
-    }
+    let pairs = pairs();
+    let attacks = distinct_attacks();
 
     let mut batch: Batch<ArmOutcome> = Batch::new(EXPERIMENT_BASE_SEED);
     for attack in &attacks {
-        let attack = attack.to_string();
+        let attack = attack.clone();
         batch.push_with_seed(
             format!("{attack}/undefended"),
             EXPERIMENT_BASE_SEED,
@@ -94,7 +118,7 @@ pub fn run(quick: bool) -> Vec<Table3Cell> {
         );
     }
     for (_, attack, variant) in &pairs {
-        let (attack, variant) = (attack.to_string(), variant.clone());
+        let (attack, variant) = (attack.clone(), variant.clone());
         batch.push_with_seed(
             format!("{attack}/{variant}"),
             EXPERIMENT_BASE_SEED,
@@ -106,7 +130,7 @@ pub fn run(quick: bool) -> Vec<Table3Cell> {
     let undefended: HashMap<&str, f64> = attacks
         .iter()
         .zip(&entries)
-        .map(|(attack, entry)| (*attack, entry.value.impact))
+        .map(|(attack, entry)| (attack.as_str(), entry.value.impact))
         .collect();
     pairs
         .iter()
@@ -114,7 +138,7 @@ pub fn run(quick: bool) -> Vec<Table3Cell> {
         .map(|((mech, attack, _), defended)| Table3Cell {
             mechanism: mech.to_string(),
             attack: attack.to_string(),
-            undefended: undefended[attack],
+            undefended: undefended[attack.as_str()],
             defended: defended.value.impact,
         })
         .collect()

@@ -176,8 +176,9 @@ fn aggregate(attack: &str, config: &str, cells: &[DetectionSummary]) -> Table4Ro
     }
 }
 
-/// The arm list: every catalogued attack plus the benign floor.
-fn arms() -> Vec<String> {
+/// The arm list: every catalogued attack plus the benign floor. Public so
+/// the job service can enumerate the Table IV grid without re-deriving it.
+pub fn arm_names() -> Vec<String> {
     let mut v: Vec<String> = platoon_attacks::registry::catalog()
         .iter()
         .map(|d| d.name.to_string())
@@ -192,7 +193,7 @@ fn arms() -> Vec<String> {
 /// identical for any worker count.
 pub fn run(quick: bool) -> Vec<Table4Row> {
     let effort = Effort::new(quick);
-    let arm_names = arms();
+    let arm_names = arm_names();
     let mut batch: Batch<DetectionSummary> = Batch::new(EXPERIMENT_BASE_SEED);
     for config in CONFIGS {
         for attack in &arm_names {
@@ -336,7 +337,7 @@ mod tests {
 
         // The strict profile trades threshold for recall: it never detects
         // less than the default profile does.
-        for attack in arms() {
+        for attack in arm_names() {
             let d = row(&rows, &attack, "default");
             let s = row(&rows, &attack, "strict");
             assert!(

@@ -133,34 +133,52 @@ pub struct PerfReport {
     pub wall_ms_total: f64,
 }
 
+/// The grid's cell labels, in grid order. Public so the job service can
+/// enumerate the perf grid without re-deriving it.
+pub fn cell_labels() -> Vec<&'static str> {
+    GRID.iter().map(|spec| spec.label).collect()
+}
+
+/// One cell's engine run: deterministic counters plus its wall time.
+fn run_cell_spec(spec: &CellSpec, quick: bool, seed: u64) -> (PerfCounters, f64) {
+    let (vehicles, duration) = if quick { (4, 20.0) } else { (8, 120.0) };
+    let mut scenario = Scenario::builder()
+        .label(spec.label)
+        .vehicles(vehicles)
+        .controller(spec.controller)
+        .auth(spec.auth)
+        .comms(spec.comms)
+        .duration(duration)
+        .build();
+    scenario.seed = seed;
+    let mut engine = Engine::new(scenario);
+    if spec.detect {
+        engine.attach_detectors(Pipeline::new(PipelineConfig::default_profile()));
+    }
+    let t0 = Instant::now();
+    engine.run();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    (*engine.perf(), wall_ms)
+}
+
+/// Runs a single grid cell by label with the grid's canonical label-derived
+/// seed, returning `(seed, counters)` — the deterministic projection only
+/// (wall times are machine noise and deliberately excluded, so the result
+/// is cacheable). `None` for an unknown label. Public for the job service.
+pub fn run_cell(label: &str, quick: bool) -> Option<(u64, PerfCounters)> {
+    let spec = GRID.iter().find(|spec| spec.label == label)?;
+    let seed = platoon_sim::harness::derive_seed(label, PERF_BASE_SEED);
+    let (counters, _wall_ms) = run_cell_spec(spec, quick, seed);
+    Some((seed, counters))
+}
+
 /// Runs the perf grid. `quick` shrinks the per-cell duration so the whole
 /// grid finishes in seconds (the CI smoke mode); full effort runs long
 /// enough for stable throughput numbers.
 pub fn run(label: &str, quick: bool, workers: usize) -> PerfReport {
-    let (vehicles, duration) = if quick { (4, 20.0) } else { (8, 120.0) };
     let mut batch: Batch<(PerfCounters, f64)> = Batch::new(PERF_BASE_SEED);
     for spec in GRID {
-        let scenario = Scenario::builder()
-            .label(spec.label)
-            .vehicles(vehicles)
-            .controller(spec.controller)
-            .auth(spec.auth)
-            .comms(spec.comms)
-            .duration(duration)
-            .build();
-        let detect = spec.detect;
-        batch.push(spec.label, move |seed| {
-            let mut scenario = scenario;
-            scenario.seed = seed;
-            let mut engine = Engine::new(scenario);
-            if detect {
-                engine.attach_detectors(Pipeline::new(PipelineConfig::default_profile()));
-            }
-            let t0 = Instant::now();
-            engine.run();
-            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
-            (*engine.perf(), wall_ms)
-        });
+        batch.push(spec.label, move |seed| run_cell_spec(spec, quick, seed));
     }
 
     let mut totals = PerfCounters::default();

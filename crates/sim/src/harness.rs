@@ -22,11 +22,13 @@
 //!   built on (the workspace's serde is an offline no-op stand-in, so
 //!   serialization is explicit and therefore stable by construction).
 
+use crate::exec::{self, JobTiming};
 use crate::metrics::RunSummary;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+pub use crate::exec::JobOutcome;
 
 /// Derives the per-job seed from the job label and the batch base seed.
 ///
@@ -85,54 +87,6 @@ pub struct BatchEntry<T> {
     pub seed: u64,
     /// What the job returned.
     pub value: T,
-}
-
-/// How one batch job ended.
-///
-/// [`Batch::run_outcomes`] wraps every job in `catch_unwind` (and, when a
-/// [wall-time budget](Batch::set_job_budget) is set, a watchdog), so a single
-/// crashing cell degrades to a `Failed` entry instead of poisoning the job
-/// queue and aborting the whole grid.
-#[derive(Clone, Debug, PartialEq)]
-pub enum JobOutcome<T> {
-    /// The job returned normally.
-    Ok(T),
-    /// The job panicked or blew its wall-time budget.
-    Failed {
-        /// Human-readable cause (panic message or budget diagnostics).
-        reason: String,
-    },
-}
-
-impl<T> JobOutcome<T> {
-    /// The value, if the job succeeded.
-    pub fn as_ok(&self) -> Option<&T> {
-        match self {
-            JobOutcome::Ok(v) => Some(v),
-            JobOutcome::Failed { .. } => None,
-        }
-    }
-
-    /// Consumes the outcome, yielding the value if the job succeeded.
-    pub fn into_ok(self) -> Option<T> {
-        match self {
-            JobOutcome::Ok(v) => Some(v),
-            JobOutcome::Failed { .. } => None,
-        }
-    }
-
-    /// The failure reason, if the job failed.
-    pub fn failure(&self) -> Option<&str> {
-        match self {
-            JobOutcome::Ok(_) => None,
-            JobOutcome::Failed { reason } => Some(reason),
-        }
-    }
-
-    /// Whether the job failed.
-    pub fn is_failed(&self) -> bool {
-        matches!(self, JobOutcome::Failed { .. })
-    }
 }
 
 /// A batch of labelled jobs executed on a worker pool.
@@ -275,9 +229,26 @@ impl<T: Send + 'static> Batch<T> {
     /// synthesized as `Failed` rather than aborting the collection — the
     /// harness itself has no panic path left on the job's account.
     pub fn run_outcomes(self, workers: usize) -> Vec<BatchEntry<JobOutcome<T>>> {
+        self.run_outcomes_timed(workers)
+            .into_iter()
+            .map(|(entry, _timing)| entry)
+            .collect()
+    }
+
+    /// [`run_outcomes`](Self::run_outcomes), additionally reporting each
+    /// job's [`JobTiming`] — queue wait (time between batch start and a
+    /// worker claiming the job) split from execution time. Timing is
+    /// measurement only: it varies run to run and never appears in the
+    /// canonical documents, but a service scheduling many batches needs it
+    /// to tell scheduler delay apart from slow jobs (the per-job
+    /// [budget](Self::set_job_budget) is charged against execution time
+    /// only).
+    pub fn run_outcomes_timed(self, workers: usize) -> Vec<(BatchEntry<JobOutcome<T>>, JobTiming)> {
         let base_seed = self.base_seed;
         let budget = self.job_budget;
         let n = self.jobs.len();
+        // Every job is effectively enqueued the moment the batch starts.
+        let enqueued_at = Instant::now();
         // Label + seed survive outside the job slots so a job whose result
         // never arrives still yields a labelled Failed entry.
         let meta: Vec<(String, u64)> = self
@@ -291,7 +262,7 @@ impl<T: Send + 'static> Batch<T> {
         let jobs: Vec<Mutex<Option<BatchJob<T>>>> =
             self.jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
         let cursor = AtomicUsize::new(0);
-        let (tx, rx) = mpsc::channel::<(usize, JobOutcome<T>)>();
+        let (tx, rx) = mpsc::channel::<(usize, JobOutcome<T>, JobTiming)>();
 
         std::thread::scope(|scope| {
             for _ in 0..workers.max(1).min(n.max(1)) {
@@ -309,8 +280,9 @@ impl<T: Send + 'static> Batch<T> {
                         .unwrap_or_else(PoisonError::into_inner)
                         .take();
                     let Some(job) = claimed else { continue };
-                    let outcome = execute_job(job.run, meta[i].1, budget);
-                    if tx.send((i, outcome)).is_err() {
+                    let queue_wait = enqueued_at.elapsed();
+                    let executed = exec::execute_job(job.run, meta[i].1, budget, queue_wait);
+                    if tx.send((i, executed.outcome, executed.timing)).is_err() {
                         break;
                     }
                 });
@@ -318,90 +290,24 @@ impl<T: Send + 'static> Batch<T> {
         });
         drop(tx);
 
-        let mut slots: Vec<Option<JobOutcome<T>>> = (0..n).map(|_| None).collect();
-        for (i, outcome) in rx {
-            slots[i] = Some(outcome);
+        let mut slots: Vec<Option<(JobOutcome<T>, JobTiming)>> = (0..n).map(|_| None).collect();
+        for (i, outcome, timing) in rx {
+            slots[i] = Some((outcome, timing));
         }
         slots
             .into_iter()
             .zip(meta)
-            .map(|(slot, (label, seed))| BatchEntry {
-                label,
-                seed,
-                value: slot.unwrap_or(JobOutcome::Failed {
-                    reason: "job never reported a result".into(),
-                }),
+            .map(|(slot, (label, seed))| {
+                let (value, timing) = slot.unwrap_or((
+                    JobOutcome::Failed {
+                        reason: "job never reported a result".into(),
+                    },
+                    JobTiming::default(),
+                ));
+                (BatchEntry { label, seed, value }, timing)
             })
             .collect()
     }
-}
-
-/// Runs one job to a [`JobOutcome`]: `catch_unwind` converts a panic into
-/// `Failed`, and when `budget` is set the job runs on a detached watchdog
-/// thread so an over-budget cell times out instead of stalling its worker.
-fn execute_job<T: Send + 'static>(
-    run: Box<dyn FnOnce(u64) -> T + Send>,
-    seed: u64,
-    budget: Option<Duration>,
-) -> JobOutcome<T> {
-    let Some(limit) = budget else {
-        return match catch_unwind(AssertUnwindSafe(|| run(seed))) {
-            Ok(value) => JobOutcome::Ok(value),
-            Err(payload) => JobOutcome::Failed {
-                reason: format!("job panicked: {}", panic_message(payload.as_ref())),
-            },
-        };
-    };
-    let (tx, rx) = mpsc::channel();
-    let spawned = std::thread::Builder::new()
-        .name("batch-job-watchdog".into())
-        .spawn(move || {
-            // A send into a receiver that already timed out is harmless.
-            let _ = tx.send(catch_unwind(AssertUnwindSafe(|| run(seed))));
-        });
-    let handle = match spawned {
-        Ok(handle) => handle,
-        Err(_) => {
-            return JobOutcome::Failed {
-                reason: "could not spawn the job watchdog thread".into(),
-            }
-        }
-    };
-    match rx.recv_timeout(limit) {
-        Ok(result) => {
-            // The job finished under budget: the watchdog thread has sent
-            // its result and is exiting — reap it here so large budgeted
-            // batches do not accumulate one lingering thread per
-            // completed job. (Its own panics were already caught and
-            // shipped through the channel, so join cannot re-raise.)
-            let _ = handle.join();
-            match result {
-                Ok(value) => JobOutcome::Ok(value),
-                Err(payload) => JobOutcome::Failed {
-                    reason: format!("job panicked: {}", panic_message(payload.as_ref())),
-                },
-            }
-        }
-        Err(_) => {
-            // Over budget: the job is still running and cannot be
-            // cancelled cooperatively — detach the watchdog (it leaks
-            // until process exit; the budget bounds grid latency, not
-            // resource reclamation for genuinely hung jobs).
-            drop(handle);
-            JobOutcome::Failed {
-                reason: format!("job exceeded its wall-time budget of {limit:?}"),
-            }
-        }
-    }
-}
-
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
-    payload
-        .downcast_ref::<&str>()
-        .copied()
-        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
-        .unwrap_or("non-string panic payload")
 }
 
 impl Batch<RunSummary> {
@@ -494,7 +400,7 @@ impl BatchReport {
                             w.field_u64("seed", e.seed);
                             match &e.value {
                                 JobOutcome::Ok(s) => {
-                                    w.field_obj("summary", |w| write_summary(w, s));
+                                    w.field_obj("summary", |w| write_run_summary(w, s));
                                 }
                                 JobOutcome::Failed { reason } => {
                                     w.field_str("error", reason);
@@ -509,8 +415,11 @@ impl BatchReport {
     }
 }
 
-/// Canonical field-by-field rendering of a [`RunSummary`].
-fn write_summary(w: &mut json::Writer, s: &RunSummary) {
+/// Canonical field-by-field rendering of a [`RunSummary`] — the shared
+/// document shape of the golden snapshots, the batch reports, and the job
+/// service's cached results (which must stay byte-identical to a fresh
+/// run's rendering).
+pub fn write_run_summary(w: &mut json::Writer, s: &RunSummary) {
     w.field_str("label", &s.label);
     w.field_f64("duration", s.duration);
     w.field_u64("vehicles", s.vehicles as u64);
@@ -899,6 +808,19 @@ pub mod json {
             self.obj(f);
         }
 
+        /// Writes a field whose value is an *already-rendered* JSON
+        /// document, verbatim.
+        ///
+        /// The caller owns the invariants: `raw` must be one complete JSON
+        /// value with no trailing newline (compact-writer output qualifies).
+        /// This is how the job service embeds cached result documents into
+        /// batch reports without re-parsing them — byte preservation is the
+        /// whole point of the cache.
+        pub fn field_raw(&mut self, name: &str, raw: &str) {
+            self.key(name);
+            self.out.push_str(raw);
+        }
+
         /// Writes an array field; use [`Writer::elem`] inside the callback.
         pub fn field_arr(&mut self, name: &str, f: impl FnOnce(&mut Writer)) {
             self.key(name);
@@ -1110,7 +1032,9 @@ mod tests {
     use super::golden::Tolerance;
     use super::json::Value;
     use super::*;
+    use crate::exec::panic_message;
     use crate::scenario::Scenario;
+    use std::panic::AssertUnwindSafe;
 
     #[test]
     fn derived_seeds_are_stable_and_label_sensitive() {
@@ -1201,6 +1125,86 @@ mod tests {
             reason.contains("wall-time budget"),
             "budget diagnostics: {reason}"
         );
+    }
+
+    #[test]
+    fn timed_outcomes_split_queue_wait_from_execution() {
+        // One worker, two jobs that each sleep: the second job's queue wait
+        // must cover (at least) the first job's execution, while its own
+        // execution stays short — the split a service-side timeout needs to
+        // avoid blaming scheduler delay on the job.
+        let mut batch: Batch<usize> = Batch::new(3);
+        for i in 0..2usize {
+            batch.push(format!("timed/{i}"), move |_seed| {
+                std::thread::sleep(Duration::from_millis(60));
+                i
+            });
+        }
+        let timed = batch.run_outcomes_timed(1);
+        assert_eq!(timed.len(), 2);
+        let (first, second) = (&timed[0], &timed[1]);
+        assert!(!first.0.value.is_failed() && !second.0.value.is_failed());
+        assert!(
+            second.1.queue_wait >= first.1.execution,
+            "serial second job queued behind the first: waited {:?}, first ran {:?}",
+            second.1.queue_wait,
+            first.1.execution
+        );
+        assert!(
+            second.1.execution < second.1.queue_wait + Duration::from_millis(40),
+            "queue wait must not be folded into execution time: {:?}",
+            second.1
+        );
+    }
+
+    #[test]
+    fn budget_does_not_count_queue_wait() {
+        // With one worker and an 80 ms budget, three 50 ms jobs queue up to
+        // ~100 ms of scheduler delay for the tail job — which must still
+        // complete, because the budget clock starts at claim time.
+        let mut batch: Batch<usize> = Batch::new(4);
+        batch.set_job_budget(Duration::from_millis(80));
+        for i in 0..3usize {
+            batch.push(format!("q/{i}"), move |_seed| {
+                std::thread::sleep(Duration::from_millis(50));
+                i
+            });
+        }
+        let entries = batch.run_outcomes(1);
+        for e in &entries {
+            assert!(
+                !e.value.is_failed(),
+                "{}: queue wait was charged against the budget: {:?}",
+                e.label,
+                e.value.failure()
+            );
+        }
+    }
+
+    #[test]
+    fn raw_fields_embed_rendered_documents_verbatim() {
+        let inner = {
+            let mut w = json::Writer::compact();
+            w.obj(|w| {
+                w.field_u64("x", 1);
+                w.field_f64("y", f64::INFINITY);
+            });
+            w.finish()
+        };
+        let mut w = json::Writer::new();
+        w.obj(|w| {
+            w.field_str("label", "cell");
+            w.field_raw("document", &inner);
+            w.field_u64("after", 2);
+        });
+        let text = w.finish();
+        assert!(text.contains(&inner), "raw document embedded verbatim");
+        let v = json::parse(&text).expect("document with raw field parses");
+        assert_eq!(
+            v.get("document").and_then(|d| d.get("x")),
+            Some(&Value::Num(1.0))
+        );
+        assert_eq!(v.get("after"), Some(&Value::Num(2.0)));
     }
 
     /// Live threads of this process (Linux: one /proc/self/task entry per

@@ -45,6 +45,7 @@ pub mod attack;
 pub mod defense;
 pub mod engine;
 pub mod events;
+pub mod exec;
 pub mod fault;
 pub mod harness;
 pub mod metrics;

@@ -6,6 +6,8 @@
 //! cargo run --release -- trace --quick       # traced run → TRACE_quick.jsonl
 //! cargo run --release -- trace-diff A B      # first diverging tick/phase
 //! cargo run --release -- corridor --quick    # corridor grid → CORRIDOR_quick.json
+//! cargo run --release -- serve               # persistent job server w/ result cache
+//! cargo run --release -- submit --experiment smoke --quick  # batch via the server
 //! cargo run --release -- perf --help         # all perf options
 //! ```
 //!
@@ -26,6 +28,8 @@ fn main() {
         Some("trace-diff") => {
             std::process::exit(platoon_core::experiments::trace::diff_cli_main(&args[1..]))
         }
+        Some("serve") => std::process::exit(platoon_server::cli::serve_cli_main(&args[1..])),
+        Some("submit") => std::process::exit(platoon_server::cli::submit_cli_main(&args[1..])),
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage: platoon-security <command>\n\
@@ -39,6 +43,11 @@ fn main() {
                  \x20 corridor [options]    highway-scale multi-platoon corridor, written to\n\
                  \x20                       CORRIDOR_<label>.json + BENCH_corridor_<label>.json\n\
                  \x20                       (see `corridor --help`)\n\
+                 \x20 serve [options]       persistent job server with a content-addressed\n\
+                 \x20                       result cache (see `serve --help`)\n\
+                 \x20 submit [options]      submit an experiment grid to the server (or\n\
+                 \x20                       --in-process), writing SERVICE_*.json\n\
+                 \x20                       (see `submit --help`)\n\
                  For tables and figures: cargo run --release -p platoon-bench --bin report"
             );
             std::process::exit(if args.is_empty() { 2 } else { 0 });

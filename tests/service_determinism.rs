@@ -1,0 +1,64 @@
+//! End-to-end determinism of the job service through the real binary:
+//! `submit --in-process` twice against one cache directory must produce a
+//! byte-identical batch document (golden-pinned), with the second pass
+//! served entirely from the persisted cache.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "platoon-service-determinism-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn submit(cache: &Path, out: &Path, extra: &[&str]) {
+    let golden = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden/service_quick.json");
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_platoon-security"));
+    cmd.args(["submit", "--experiment", "smoke", "--quick", "--in-process"])
+        .arg("--cache-dir")
+        .arg(cache)
+        .arg("--out")
+        .arg(out)
+        .arg("--check-golden")
+        .arg(&golden)
+        .args(extra);
+    let output = cmd.output().expect("run platoon-security submit");
+    assert!(
+        output.status.success(),
+        "submit failed (status {:?}):\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn resubmitting_the_smoke_grid_is_all_hits_and_byte_identical() {
+    let root = scratch("smoke");
+    let cache = root.join("cache");
+    let out_fresh = root.join("fresh");
+    let out_cached = root.join("cached");
+
+    // First pass: executes every job, pins (or writes) the golden.
+    submit(&cache, &out_fresh, &[]);
+    // Second pass: a fresh process over the same cache directory must be
+    // 100% hits — proving on-disk persistence — and still match the golden.
+    submit(&cache, &out_cached, &["--assert-all-hits"]);
+
+    let fresh = std::fs::read(out_fresh.join("SERVICE_smoke_quick.json")).expect("fresh document");
+    let cached =
+        std::fs::read(out_cached.join("SERVICE_smoke_quick.json")).expect("cached document");
+    assert_eq!(
+        fresh, cached,
+        "cache hits must be byte-identical to fresh executions"
+    );
+
+    let stats = std::fs::read_to_string(out_cached.join("SERVICE_STATS_smoke_quick.json"))
+        .expect("stats document");
+    assert!(stats.contains("\"all_hits\": true"), "{stats}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
