@@ -49,6 +49,7 @@ pub mod gps_spoof;
 pub mod impersonation;
 pub mod jamming;
 pub mod malware;
+pub mod params;
 pub mod registry;
 pub mod replay;
 pub mod sensor_spoof;
@@ -64,6 +65,7 @@ pub mod prelude {
     pub use crate::impersonation::{ImpersonationAttack, ImpersonationConfig};
     pub use crate::jamming::{JammingAttack, JammingConfig};
     pub use crate::malware::{MalwareAttack, MalwareConfig, MalwarePayload};
+    pub use crate::params::{param_space, searchable_attacks, AttackParams, ParamKind, ParamSpec};
     pub use crate::registry::{
         catalog as attack_catalog, descriptor as attack_descriptor, Asset, AttackDescriptor,
     };

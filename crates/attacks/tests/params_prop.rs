@@ -1,0 +1,70 @@
+//! Property tests for the typed attack-parameter surface: the canonical
+//! JSON form must round-trip byte-identically for *arbitrary* raw values
+//! (the campaign's cache keys and goldens stand on this), and Gaussian
+//! mutation must never escape the declared bounds.
+
+use platoon_attacks::params::{searchable_attacks, AttackParams, ParamKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Picks an attack and builds a candidate from arbitrary raw knob values
+/// (construction snaps them into bounds, whatever they were).
+fn arb_params(shape: u64, raw: [f64; 5]) -> AttackParams {
+    let attacks = searchable_attacks();
+    let attack = attacks[(shape % attacks.len() as u64) as usize];
+    let n = AttackParams::defaults(attack).unwrap().values().len();
+    AttackParams::from_values(attack, &raw[..n]).expect("value count matches the space")
+}
+
+proptest! {
+    /// encode → parse → encode is the identity on bytes, for any attack
+    /// and any raw values. (The writer emits shortest-round-trip floats
+    /// and construction snaps values, so one canonical spelling exists.)
+    #[test]
+    fn canonical_json_round_trips_byte_identically(
+        shape in any::<u64>(),
+        a in any::<f64>(),
+        b in any::<f64>(),
+        c in any::<f64>(),
+        d in any::<f64>(),
+        e in any::<f64>(),
+    ) {
+        let params = arb_params(shape, [a, b, c, d, e]);
+        let text = params.canonical_json();
+        let back = AttackParams::parse(&text).expect("canonical params parse");
+        prop_assert_eq!(&back, &params);
+        prop_assert_eq!(back.canonical_json(), text);
+    }
+
+    /// A mutated candidate stays inside every knob's declared bounds,
+    /// integers stay integral, booleans stay 0/1 — and the same rng seed
+    /// reproduces the same child.
+    #[test]
+    fn mutation_respects_bounds_and_replays(
+        shape in any::<u64>(),
+        seed in any::<u64>(),
+        a in any::<f64>(),
+        b in any::<f64>(),
+        c in any::<f64>(),
+        d in any::<f64>(),
+        e in any::<f64>(),
+        sigma in 0.0f64..4.0,
+    ) {
+        let params = arb_params(shape, [a, b, c, d, e]);
+        let child = params.mutate(&mut StdRng::seed_from_u64(seed), sigma);
+        for (spec, &v) in child.space().iter().zip(child.values()) {
+            prop_assert!(
+                v >= spec.min && v <= spec.max,
+                "{}.{} = {v} escaped [{}, {}]", child.attack(), spec.name, spec.min, spec.max
+            );
+            match spec.kind {
+                ParamKind::Continuous => {}
+                ParamKind::Integer => prop_assert_eq!(v, v.round()),
+                ParamKind::Boolean => prop_assert!(v == 0.0 || v == 1.0),
+            }
+        }
+        let replay = params.mutate(&mut StdRng::seed_from_u64(seed), sigma);
+        prop_assert_eq!(child, replay);
+    }
+}

@@ -11,6 +11,7 @@
 //! cargo run --release -p platoon-bench --bin report -- corridor --quick
 //! cargo run --release -p platoon-bench --bin report -- serve
 //! cargo run --release -p platoon-bench --bin report -- submit --experiment smoke --quick
+//! cargo run --release -p platoon-bench --bin report -- campaign --quick
 //! ```
 
 fn main() {
@@ -36,6 +37,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("submit") {
         std::process::exit(platoon_server::cli::submit_cli_main(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("campaign") {
+        std::process::exit(platoon_campaign::cli::cli_main(&args[1..]));
+    }
     let mut quick = false;
     for arg in &args {
         match arg.as_str() {
@@ -54,6 +58,7 @@ fn main() {
                 eprintln!("  corridor     highway-scale multi-platoon corridor grid (see `report corridor --help`)");
                 eprintln!("  serve        persistent job server with a content-addressed result cache (see `report serve --help`)");
                 eprintln!("  submit       submit an experiment grid to the server (see `report submit --help`)");
+                eprintln!("  campaign     adversarial stealth-vs-damage parameter search (see `report campaign --help`)");
                 return;
             }
             other => {

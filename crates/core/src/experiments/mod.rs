@@ -6,6 +6,7 @@
 //! sweep points) and full (used by `cargo bench` and the report binaries).
 
 pub mod ablations;
+pub mod campaign;
 pub mod common;
 pub mod corridor;
 pub mod figures;

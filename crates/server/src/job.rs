@@ -13,6 +13,7 @@
 //! corridor seeds use all 64 bits — well past the 2^53 range where `f64`
 //! stays exact. Strings round-trip losslessly.
 
+use platoon_attacks::prelude::AttackParams;
 use platoon_core::experiments::common::Effort;
 use platoon_sim::harness::json::{self, Value};
 use platoon_sim::harness::write_run_summary;
@@ -93,6 +94,20 @@ pub enum JobSpec {
         /// Quick vs full effort.
         quick: bool,
     },
+    /// One adversarial-campaign cell: a tuned attack candidate scored
+    /// against the default detection pipeline (stealth vs damage). The
+    /// campaign driver submits thousands of these per search, so this is
+    /// the variant the content-addressed cache earns its keep on:
+    /// grid-pass cells resurface verbatim across generations and across
+    /// re-runs of the same campaign seed.
+    Campaign {
+        /// The candidate: attack name plus its snapped knob values.
+        params: AttackParams,
+        /// Quick vs full effort.
+        quick: bool,
+        /// Scenario seed.
+        seed: u64,
+    },
     /// One corridor-grid cell: a multi-platoon corridor world.
     Corridor {
         /// Cell label (e.g. `corridor/indexed/6x8`).
@@ -135,6 +150,11 @@ impl JobSpec {
                 ..
             } => format!("robust/{fault}/{attack}/{seed}"),
             JobSpec::Perf { cell, .. } => cell.clone(),
+            JobSpec::Campaign { params, seed, .. } => format!(
+                "campaign/{}/{:08x}/{seed}",
+                params.attack(),
+                fnv1a(params.canonical_json().as_bytes()) as u32
+            ),
             JobSpec::Corridor { label, .. } => label.clone(),
         }
     }
@@ -198,6 +218,16 @@ impl JobSpec {
                 w.field_str("cell", cell);
                 w.field_bool("quick", *quick);
             }
+            JobSpec::Campaign {
+                params,
+                quick,
+                seed,
+            } => {
+                w.field_str("kind", "campaign");
+                w.field_raw("candidate", &params.canonical_json());
+                w.field_bool("quick", *quick);
+                w.field_str("seed", &seed.to_string());
+            }
             JobSpec::Corridor {
                 label,
                 per,
@@ -252,6 +282,14 @@ impl JobSpec {
                 cell: str_field(v, "cell")?,
                 quick: bool_field(v, "quick")?,
             }),
+            "campaign" => Ok(JobSpec::Campaign {
+                params: AttackParams::from_json(
+                    v.get("candidate")
+                        .ok_or("campaign spec needs a \"candidate\" object")?,
+                )?,
+                quick: bool_field(v, "quick")?,
+                seed: seed_field(v, "seed")?,
+            }),
             "corridor" => Ok(JobSpec::Corridor {
                 label: str_field(v, "label")?,
                 per: usize_field(v, "per")?,
@@ -279,7 +317,7 @@ impl JobSpec {
     /// two executions of the same spec are byte-identical — the property
     /// the whole cache rests on.
     pub fn execute(&self, engine_threads: usize) -> String {
-        use platoon_core::experiments::{corridor, robustness, table2, table4};
+        use platoon_core::experiments::{campaign, corridor, robustness, table2, table4};
 
         let mut w = json::Writer::compact();
         match self {
@@ -350,6 +388,17 @@ impl JobSpec {
                     w.field_str("seed", &seed.to_string());
                     w.field_obj("perf", |w| counters.write_canonical(w));
                 });
+            }
+            JobSpec::Campaign {
+                params,
+                quick,
+                seed,
+            } => {
+                let out = campaign::evaluate_candidate(params, *quick, *seed);
+                // The campaign document is already canonical compact JSON;
+                // return it verbatim so the in-process evaluation path and
+                // a cached server result can never diverge by a byte.
+                return campaign::outcome_document(params, *quick, *seed, &out);
             }
             JobSpec::Corridor {
                 label,
@@ -491,6 +540,16 @@ mod tests {
             JobSpec::Perf {
                 cell: "perf/cacc/pki/dsrc".into(),
                 quick: true,
+            },
+            JobSpec::Campaign {
+                params: AttackParams::defaults("jamming").unwrap(),
+                quick: true,
+                seed: 2021,
+            },
+            JobSpec::Campaign {
+                params: AttackParams::from_values("insider-fdi", &[0.5, -2.0, 1.0, 3.0]).unwrap(),
+                quick: true,
+                seed: 2021,
             },
             JobSpec::Corridor {
                 label: "corridor/indexed/6x8".into(),

@@ -8,6 +8,7 @@
 //! cargo run --release -- corridor --quick    # corridor grid → CORRIDOR_quick.json
 //! cargo run --release -- serve               # persistent job server w/ result cache
 //! cargo run --release -- submit --experiment smoke --quick  # batch via the server
+//! cargo run --release -- campaign --quick    # stealth-vs-damage search → CAMPAIGN_quick.json
 //! cargo run --release -- perf --help         # all perf options
 //! ```
 //!
@@ -30,6 +31,7 @@ fn main() {
         }
         Some("serve") => std::process::exit(platoon_server::cli::serve_cli_main(&args[1..])),
         Some("submit") => std::process::exit(platoon_server::cli::submit_cli_main(&args[1..])),
+        Some("campaign") => std::process::exit(platoon_campaign::cli::cli_main(&args[1..])),
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage: platoon-security <command>\n\
@@ -48,6 +50,8 @@ fn main() {
                  \x20 submit [options]      submit an experiment grid to the server (or\n\
                  \x20                       --in-process), writing SERVICE_*.json\n\
                  \x20                       (see `submit --help`)\n\
+                 \x20 campaign [options]    adversarial stealth-vs-damage parameter search,\n\
+                 \x20                       written to CAMPAIGN_<label>.json (see `campaign --help`)\n\
                  For tables and figures: cargo run --release -p platoon-bench --bin report"
             );
             std::process::exit(if args.is_empty() { 2 } else { 0 });
