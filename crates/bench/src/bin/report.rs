@@ -12,6 +12,7 @@
 //! cargo run --release -p platoon-bench --bin report -- serve
 //! cargo run --release -p platoon-bench --bin report -- submit --experiment smoke --quick
 //! cargo run --release -p platoon-bench --bin report -- campaign --quick
+//! cargo run --release -p platoon-bench --bin report -- dataset --quick
 //! ```
 
 fn main() {
@@ -40,6 +41,9 @@ fn main() {
     if args.first().map(String::as_str) == Some("campaign") {
         std::process::exit(platoon_campaign::cli::cli_main(&args[1..]));
     }
+    if args.first().map(String::as_str) == Some("dataset") {
+        std::process::exit(platoon_dataset::cli::cli_main(&args[1..]));
+    }
     let mut quick = false;
     for arg in &args {
         match arg.as_str() {
@@ -59,6 +63,7 @@ fn main() {
                 eprintln!("  serve        persistent job server with a content-addressed result cache (see `report serve --help`)");
                 eprintln!("  submit       submit an experiment grid to the server (see `report submit --help`)");
                 eprintln!("  campaign     adversarial stealth-vs-damage parameter search (see `report campaign --help`)");
+                eprintln!("  dataset      labeled per-beacon train/test shards + the learned detector baseline (see `report dataset --help`)");
                 return;
             }
             other => {

@@ -23,7 +23,7 @@
 //!   (bumper gap pushed under 10 m).
 
 use super::common::{base_scenario, brake_profile, impact_of, legit_joiner, Effort};
-use super::table4::pipeline_for;
+use super::table4::profile_for;
 use platoon_attacks::prelude::AttackParams;
 use platoon_crypto::cert::PrincipalId;
 use platoon_sim::harness::json::{self, Value};
@@ -263,7 +263,7 @@ pub fn evaluate_candidate(params: &AttackParams, quick: bool, seed: u64) -> Cand
         // flood's damage is measured through its join outcome.
         engine.add_attack(Box::new(legit_joiner(effort.duration * 0.25)));
     }
-    engine.attach_detectors(pipeline_for("default"));
+    engine.attach_detector_config(profile_for("default"));
     let summary = engine.run();
     let truth = truth_for_params(params, effort, &engine);
     let det = score_alerts(engine.alerts(), &truth);

@@ -18,7 +18,7 @@
 //! cell still reports.
 
 use super::common::{base_scenario, make_attack, Effort, EXPERIMENT_BASE_SEED};
-use super::table4::{pipeline_for, truth_for};
+use super::table4::{profile_for, truth_for};
 use crate::tables::{num, TextTable};
 use platoon_faults::{
     BurstPacketLoss, ClockSkew, FaultWindow, NoiseFloorRamp, RsuBlackout, SensorOutage,
@@ -98,7 +98,7 @@ pub fn robustness_arm(fault: &str, attack: &str, effort: Effort, seed: u64) -> R
     if attack != "benign" {
         engine.add_attack(make_attack(attack, effort));
     }
-    engine.attach_detectors(pipeline_for("default"));
+    engine.attach_detector_config(profile_for("default"));
     let summary = engine.run();
     let truth = truth_for(attack, effort, &engine);
     RobustnessCell {

@@ -25,7 +25,7 @@ use super::common::{
 };
 use crate::tables::{num, TextTable};
 use platoon_crypto::cert::PrincipalId;
-use platoon_detect::pipeline::{Pipeline, PipelineConfig};
+use platoon_detect::pipeline::PipelineConfig;
 use platoon_sim::harness::{json, Batch};
 use platoon_sim::prelude::{score_alerts, DetectionSummary, Engine, TruthLabels};
 use serde::Serialize;
@@ -36,11 +36,14 @@ pub const CONFIGS: [&str; 2] = ["default", "strict"];
 /// Independent seeds per (attack, config) cell.
 pub const SEEDS_PER_ARM: u64 = 3;
 
-/// The pipeline for a named detector configuration.
-pub fn pipeline_for(config: &str) -> Pipeline {
+/// The pipeline configuration for a named detector profile. Attach it via
+/// [`Engine::attach_detector_config`] so scenario-dependent tuning (the
+/// frequency detector's nominal beacon rate) is resolved against the
+/// scenario rather than left at the 10 Hz default.
+pub fn profile_for(config: &str) -> PipelineConfig {
     match config {
-        "default" => Pipeline::new(PipelineConfig::default_profile()),
-        "strict" => Pipeline::new(PipelineConfig::strict()),
+        "default" => PipelineConfig::default_profile(),
+        "strict" => PipelineConfig::strict(),
         other => panic!("unknown detector config {other}"),
     }
 }
@@ -116,7 +119,7 @@ pub fn detection_arm(attack: &str, config: &str, effort: Effort, seed: u64) -> D
         // must not be blamed for the flood.
         engine.add_attack(Box::new(legit_joiner(effort.duration * 0.25)));
     }
-    engine.attach_detectors(pipeline_for(config));
+    engine.attach_detector_config(profile_for(config));
     engine.run();
     let truth = truth_for(attack, effort, &engine);
     score_alerts(engine.alerts(), &truth)
@@ -146,7 +149,10 @@ pub struct Table4Row {
     pub attribution_accuracy: f64,
 }
 
-fn aggregate(attack: &str, config: &str, cells: &[DetectionSummary]) -> Table4Row {
+/// Aggregates one (attack, config) cell's per-seed summaries into a row.
+/// Public so the dataset experiment can score its learned detector with
+/// the identical aggregation.
+pub fn aggregate(attack: &str, config: &str, cells: &[DetectionSummary]) -> Table4Row {
     let runs = cells.len();
     let detected = cells.iter().filter(|c| c.detected).count();
     let mut latencies: Vec<f64> = cells.iter().map(|c| c.first_detection_latency).collect();

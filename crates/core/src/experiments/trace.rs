@@ -14,7 +14,7 @@
 
 use super::common::{base_scenario, make_attack, Effort, EXPERIMENT_BASE_SEED};
 use super::robustness::make_fault;
-use super::table4::pipeline_for;
+use super::table4::profile_for;
 use platoon_sim::harness::{golden, Batch, BatchReport, JobOutcome};
 use platoon_sim::prelude::{Engine, RunSummary};
 use platoon_trace::{diff_traces, TraceRecorder};
@@ -49,7 +49,7 @@ pub fn traced_arm(attack: &str, effort: Effort, seed: u64) -> TraceRun {
     if attack != "benign" {
         engine.add_attack(make_attack(attack, effort));
     }
-    engine.attach_detectors(pipeline_for("default"));
+    engine.attach_detector_config(profile_for("default"));
     engine.attach_tracer(Box::new(TraceRecorder::new()));
     let summary = engine.run();
     let recorder = engine

@@ -20,7 +20,7 @@
 //! Both the root binary (`cargo run --release -- perf --quick`) and the
 //! report binary (`report perf --quick`) feed [`cli_main`].
 
-use platoon_detect::pipeline::{Pipeline, PipelineConfig};
+use platoon_detect::pipeline::PipelineConfig;
 use platoon_sim::engine::Engine;
 use platoon_sim::harness::golden::{self, Tolerance};
 use platoon_sim::harness::{json, Batch};
@@ -153,7 +153,7 @@ fn run_cell_spec(spec: &CellSpec, quick: bool, seed: u64) -> (PerfCounters, f64)
     scenario.seed = seed;
     let mut engine = Engine::new(scenario);
     if spec.detect {
-        engine.attach_detectors(Pipeline::new(PipelineConfig::default_profile()));
+        engine.attach_detector_config(PipelineConfig::default_profile());
     }
     let t0 = Instant::now();
     engine.run();

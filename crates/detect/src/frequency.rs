@@ -29,6 +29,9 @@ pub struct FrequencyConfig {
     pub warmup: f64,
     /// Beacon-rate multiple of nominal that counts as flooding.
     pub flood_factor: f64,
+    /// Nominal per-sender beacon rate, Hz. The engine attach path overrides
+    /// this with the scenario's configured rate (`1 / comm_step`).
+    pub nominal_rate_hz: f64,
     /// Manoeuvre messages per second (per observer) that count as a flood.
     pub control_rate_limit: u32,
     /// Evidence strength for one selective-silence episode.
@@ -43,6 +46,7 @@ impl Default for FrequencyConfig {
             silence_timeout: 2.0,
             warmup: 1.0,
             flood_factor: 3.0,
+            nominal_rate_hz: 10.0,
             control_rate_limit: 20,
             selective_strength: 0.34,
             outage_strength: 0.5,
@@ -111,10 +115,7 @@ impl Detector for FrequencyDetector {
 
     fn observe_beacon(&mut self, obs: &BeaconObservation, sink: &mut Vec<Evidence>) {
         self.heard(obs.ctx.observer, obs.sender.0, obs.time);
-        // Nominal beacon rate is ~10 Hz; the flood limit is resolved at
-        // tick time via comm_step, but a fixed generous cap (50/s) keeps
-        // the per-beacon path self-contained.
-        let limit = (self.config.flood_factor * 10.0).max(1.0) as u32;
+        let limit = (self.config.flood_factor * self.config.nominal_rate_hz).max(1.0) as u32;
         let window = self
             .beacon_rate
             .entry((obs.ctx.observer, obs.sender.0))
@@ -298,6 +299,81 @@ mod tests {
         let mut sink = Vec::new();
         for i in 0..60u64 {
             let t = 2.0 + i as f64 * 0.01; // 100 Hz burst
+            det.observe_beacon(
+                &BeaconObservation::plausible(t, PrincipalId(5), 0),
+                &mut sink,
+            );
+        }
+        assert_eq!(sink.len(), 1, "one report per rate window");
+        assert_eq!(sink[0].target, AlertTarget::Sender(PrincipalId(5)));
+    }
+
+    #[test]
+    fn benign_20hz_beaconing_is_silent_once_rate_is_configured() {
+        // Regression: the flood limit used to hardcode a 10 Hz nominal
+        // rate, so 20 Hz benign beaconing (20/s < 3×20 but < 3×10 fails
+        // only above 30/s — two streams per observer tipped it) must stay
+        // silent when the configured rate matches the scenario.
+        let mut det = FrequencyDetector::new(FrequencyConfig {
+            nominal_rate_hz: 20.0,
+            ..Default::default()
+        });
+        let mut sink = Vec::new();
+        for step in 0..200u64 {
+            let t = step as f64 * 0.05; // 20 Hz
+            det.observe_beacon(
+                &BeaconObservation::plausible(t, PrincipalId(1), 0),
+                &mut sink,
+            );
+            det.observe_beacon(
+                &BeaconObservation::plausible(t, PrincipalId(2), 0),
+                &mut sink,
+            );
+        }
+        assert!(sink.is_empty(), "benign 20 Hz flagged: {sink:?}");
+    }
+
+    #[test]
+    fn hardcoded_rate_assumption_would_flag_fast_benign_beaconing() {
+        // The pre-fix behaviour, pinned so the bug cannot silently return:
+        // with the default 10 Hz nominal a *benign* 40 Hz stream (plausible
+        // for dense sensor-grade beaconing) trips the flood limit, while a
+        // correctly configured 40 Hz nominal stays silent.
+        let benign_40hz = |config: FrequencyConfig| {
+            let mut det = FrequencyDetector::new(config);
+            let mut sink = Vec::new();
+            for step in 0..80u64 {
+                let t = step as f64 * 0.025; // 40 Hz
+                det.observe_beacon(
+                    &BeaconObservation::plausible(t, PrincipalId(1), 0),
+                    &mut sink,
+                );
+            }
+            sink.len()
+        };
+        assert!(
+            benign_40hz(FrequencyConfig::default()) > 0,
+            "10 Hz assumption must flag a 40 Hz benign stream (the old bug)"
+        );
+        assert_eq!(
+            benign_40hz(FrequencyConfig {
+                nominal_rate_hz: 40.0,
+                ..Default::default()
+            }),
+            0,
+            "configured 40 Hz nominal must stay silent"
+        );
+    }
+
+    #[test]
+    fn genuine_flood_is_still_caught_at_20hz_nominal() {
+        let mut det = FrequencyDetector::new(FrequencyConfig {
+            nominal_rate_hz: 20.0,
+            ..Default::default()
+        });
+        let mut sink = Vec::new();
+        for i in 0..100u64 {
+            let t = 2.0 + i as f64 * 0.005; // 200 Hz burst > 3×20
             det.observe_beacon(
                 &BeaconObservation::plausible(t, PrincipalId(5), 0),
                 &mut sink,

@@ -26,6 +26,11 @@
 //! * [`pipeline`] — the assembled bank: detectors + fusion + alert log,
 //!   with the `default`/`strict` configurations the Table-IV experiment
 //!   sweeps.
+//! * [`features`] — the shared per-beacon feature vector the ML dataset
+//!   exporter renders and the learned detector consumes.
+//! * [`learned`] — from-scratch logistic regression (deterministic SGD)
+//!   wrapped as a [`Detector`](detector::Detector): the learned baseline
+//!   scored head-to-head against the rule-based bank.
 //!
 //! # Examples
 //!
@@ -55,11 +60,13 @@
 
 pub mod checks;
 pub mod detector;
+pub mod features;
 pub mod frequency;
 pub mod freshness;
 pub mod fusion;
 pub mod identity;
 pub mod kinematic;
+pub mod learned;
 pub mod observation;
 pub mod pipeline;
 pub mod range;
@@ -68,11 +75,13 @@ pub mod range;
 pub mod prelude {
     pub use crate::checks::{ClaimFault, ClaimSnapshot, KinematicLimits};
     pub use crate::detector::{Detector, Evidence};
+    pub use crate::features::{FeatureExtractor, FEATURE_NAMES, NUM_FEATURES};
     pub use crate::frequency::{FrequencyConfig, FrequencyDetector};
     pub use crate::freshness::{FreshnessConfig, FreshnessDetector};
     pub use crate::fusion::{Alert, AlertTarget, Fusion, FusionConfig};
     pub use crate::identity::{IdentityConfig, IdentityDetector};
     pub use crate::kinematic::{KinematicConfig, KinematicDetector};
+    pub use crate::learned::{LearnedConfig, LearnedDetector, LogisticModel, TrainConfig};
     pub use crate::observation::{
         AuthMeta, BeaconClaim, BeaconObservation, ControlKind, ControlObservation,
         MessageObservation, ObserverContext, SensorObservation, TickContext,

@@ -85,6 +85,20 @@ impl Pipeline {
         }
     }
 
+    /// Assembles a pipeline over an arbitrary detector bank — e.g. a
+    /// learned detector standing alone so its alert stream can be scored
+    /// by the same machinery as the stock bank's.
+    pub fn with_detectors(detectors: Vec<Box<dyn Detector>>, fusion: FusionConfig) -> Self {
+        Pipeline {
+            detectors,
+            fusion: Fusion::new(fusion),
+            scratch: Vec::new(),
+            fresh: Vec::new(),
+            log: Vec::new(),
+            evidence_count: 0,
+        }
+    }
+
     fn drain_scratch(&mut self) {
         self.evidence_count += self.scratch.len() as u64;
         for evidence in self.scratch.drain(..) {

@@ -17,12 +17,13 @@ use platoon_core::experiments::{corridor, robustness, table3, table4};
 use platoon_sim::harness::derive_seed;
 
 /// The grid names [`experiment_grid`] accepts.
-pub const EXPERIMENTS: [&str; 7] = [
+pub const EXPERIMENTS: [&str; 8] = [
     "table2",
     "table3",
     "table4",
     "robustness",
     "perf",
+    "dataset",
     "corridor",
     "smoke",
 ];
@@ -100,6 +101,17 @@ pub fn experiment_grid(name: &str, quick: bool) -> Result<Vec<JobSpec>, String> 
                 });
             }
         }
+        "dataset" => {
+            for attack in table4::arm_names() {
+                for s in 0..platoon_dataset::factory::seeds_per_cell(quick) {
+                    jobs.push(JobSpec::Dataset {
+                        attack: attack.clone(),
+                        quick,
+                        seed: EXPERIMENT_BASE_SEED + s,
+                    });
+                }
+            }
+        }
         "corridor" => {
             for cell in corridor::grid(quick) {
                 jobs.push(JobSpec::Corridor {
@@ -158,6 +170,11 @@ pub fn experiment_grid(name: &str, quick: bool) -> Result<Vec<JobSpec>, String> 
             jobs.push(JobSpec::Perf {
                 cell: "perf/cacc/pki/dsrc+detect".into(),
                 quick,
+            });
+            jobs.push(JobSpec::Dataset {
+                attack: "insider-fdi".into(),
+                quick,
+                seed: EXPERIMENT_BASE_SEED,
             });
         }
         other => {

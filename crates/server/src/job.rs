@@ -108,6 +108,20 @@ pub enum JobSpec {
         /// Scenario seed.
         seed: u64,
     },
+    /// One dataset export cell: a (attack arm, seed) run tapped for
+    /// labeled per-beacon feature rows. The cached result carries the
+    /// cell's row/positive counts and the FNV-1a digest of its
+    /// single-cell columnar shard — enough for a driver to dedup export
+    /// work and verify a shard it already holds without re-running the
+    /// simulation.
+    Dataset {
+        /// Attack arm name (or `benign`).
+        attack: String,
+        /// Quick vs full effort.
+        quick: bool,
+        /// Scenario seed.
+        seed: u64,
+    },
     /// One corridor-grid cell: a multi-platoon corridor world.
     Corridor {
         /// Cell label (e.g. `corridor/indexed/6x8`).
@@ -155,6 +169,7 @@ impl JobSpec {
                 params.attack(),
                 fnv1a(params.canonical_json().as_bytes()) as u32
             ),
+            JobSpec::Dataset { attack, seed, .. } => format!("dataset/{attack}/{seed}"),
             JobSpec::Corridor { label, .. } => label.clone(),
         }
     }
@@ -228,6 +243,16 @@ impl JobSpec {
                 w.field_bool("quick", *quick);
                 w.field_str("seed", &seed.to_string());
             }
+            JobSpec::Dataset {
+                attack,
+                quick,
+                seed,
+            } => {
+                w.field_str("kind", "dataset");
+                w.field_str("attack", attack);
+                w.field_bool("quick", *quick);
+                w.field_str("seed", &seed.to_string());
+            }
             JobSpec::Corridor {
                 label,
                 per,
@@ -287,6 +312,11 @@ impl JobSpec {
                     v.get("candidate")
                         .ok_or("campaign spec needs a \"candidate\" object")?,
                 )?,
+                quick: bool_field(v, "quick")?,
+                seed: seed_field(v, "seed")?,
+            }),
+            "dataset" => Ok(JobSpec::Dataset {
+                attack: str_field(v, "attack")?,
                 quick: bool_field(v, "quick")?,
                 seed: seed_field(v, "seed")?,
             }),
@@ -399,6 +429,27 @@ impl JobSpec {
                 // return it verbatim so the in-process evaluation path and
                 // a cached server result can never diverge by a byte.
                 return campaign::outcome_document(params, *quick, *seed, &out);
+            }
+            JobSpec::Dataset {
+                attack,
+                quick,
+                seed,
+            } => {
+                let label = self.label();
+                let cell = platoon_dataset::factory::export_cell(
+                    attack,
+                    Effort::new(*quick),
+                    *seed,
+                    &label,
+                );
+                let shard = platoon_dataset::columnar::Shard { cells: vec![cell] };
+                w.obj(|w| {
+                    w.field_str("label", &label);
+                    w.field_str("seed", &seed.to_string());
+                    w.field_u64("rows", shard.rows() as u64);
+                    w.field_u64("positives", shard.positives());
+                    w.field_str("digest", &format!("{:016x}", shard.digest()));
+                });
             }
             JobSpec::Corridor {
                 label,
@@ -548,6 +599,11 @@ mod tests {
             },
             JobSpec::Campaign {
                 params: AttackParams::from_values("insider-fdi", &[0.5, -2.0, 1.0, 3.0]).unwrap(),
+                quick: true,
+                seed: 2021,
+            },
+            JobSpec::Dataset {
+                attack: "insider-fdi".into(),
                 quick: true,
                 seed: 2021,
             },

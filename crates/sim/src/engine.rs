@@ -35,7 +35,7 @@ use platoon_detect::observation::{
     AuthMeta, BeaconClaim, BeaconObservation, ControlKind, ControlObservation, MessageObservation,
     ObserverContext, SensorObservation, TickContext,
 };
-use platoon_detect::pipeline::Pipeline;
+use platoon_detect::pipeline::{Pipeline, PipelineConfig};
 use platoon_dynamics::acc::AccController;
 use platoon_dynamics::cacc::CaccController;
 use platoon_dynamics::consensus::ConsensusController;
@@ -111,6 +111,21 @@ enum PreVerdict {
     Verified(Envelope, Result<PlatoonMessage, RejectReason>),
 }
 
+/// A passive tap on the accepted-message observation stream.
+///
+/// Attached via [`Engine::attach_observation_sink`], the sink receives
+/// every delivery round's accepted observations — the exact batches a
+/// detection pipeline would ingest, in arrival order — without influencing
+/// the run in any way. The dataset exporter uses this to render labeled
+/// per-beacon feature rows; attaching a sink never perturbs the rng
+/// stream, so a tapped run is byte-identical to an untapped one.
+pub trait ObservationSink: std::fmt::Debug {
+    /// Receives one delivery round's accepted observations, arrival order.
+    fn on_messages(&mut self, batch: &[MessageObservation]);
+    /// Downcast support for extracting recorded data after a run.
+    fn as_any(&self) -> &dyn std::any::Any;
+}
+
 /// The simulation engine.
 #[derive(Debug)]
 pub struct Engine {
@@ -135,6 +150,9 @@ pub struct Engine {
     detections: usize,
     /// Optional streaming misbehavior-detection pipeline (`platoon-detect`).
     pipeline: Option<Pipeline>,
+    /// Optional passive tap on the accepted-observation stream (dataset
+    /// export); sees exactly the batches the pipeline would ingest.
+    obs_sink: Option<Box<dyn ObservationSink>>,
     /// Ground-truth attack labels for scoring the alert stream.
     truth: Option<TruthLabels>,
     /// Next platoon id to assign on splits.
@@ -271,6 +289,7 @@ impl Engine {
             rejected_messages: 0,
             detections: 0,
             pipeline: None,
+            obs_sink: None,
             truth: None,
             next_platoon_id: platoons as u32 + 1,
             steps_run: 0,
@@ -391,6 +410,32 @@ impl Engine {
     /// counted in `detections` and logged as events.
     pub fn attach_detectors(&mut self, pipeline: Pipeline) {
         self.pipeline = Some(pipeline);
+    }
+
+    /// Builds and attaches the stock detection bank from a config, first
+    /// resolving scenario-dependent tuning: the frequency detector's
+    /// nominal beacon rate becomes the scenario's configured rate
+    /// (`1 / comm_step`), so its flood limit tracks what the platoon
+    /// actually transmits instead of assuming 10 Hz. Prefer this over
+    /// [`attach_detectors`](Self::attach_detectors) unless the pipeline
+    /// was assembled by hand.
+    pub fn attach_detector_config(&mut self, mut config: PipelineConfig) {
+        if self.scenario.comm_step > 0.0 {
+            config.frequency.nominal_rate_hz = 1.0 / self.scenario.comm_step;
+        }
+        self.pipeline = Some(Pipeline::new(config));
+    }
+
+    /// Attaches a passive [`ObservationSink`] fed the same accepted-message
+    /// batches a detection pipeline would ingest. Works with or without a
+    /// pipeline attached and never perturbs the run.
+    pub fn attach_observation_sink(&mut self, sink: Box<dyn ObservationSink>) {
+        self.obs_sink = Some(sink);
+    }
+
+    /// Detaches and returns the observation sink (to extract recorded data).
+    pub fn take_observation_sink(&mut self) -> Option<Box<dyn ObservationSink>> {
+        self.obs_sink.take()
     }
 
     /// The attached detection pipeline, if any.
@@ -1081,8 +1126,9 @@ impl Engine {
         // query. Positions are frozen for the whole delivery loop (kinematics
         // only change in the integration phase), so one grid serves all
         // deliveries this step.
+        let wants_observations = self.pipeline.is_some() || self.obs_sink.is_some();
         let coloc: Option<(SpatialGrid, f64)> =
-            if self.pipeline.is_some() && self.world.medium.radio_horizon_m.is_finite() {
+            if wants_observations && self.world.medium.radio_horizon_m.is_finite() {
                 let positions: Vec<Position> = self
                     .world
                     .vehicles
@@ -1191,7 +1237,7 @@ impl Engine {
             if !seen_payloads.insert(payload_key) {
                 continue; // duplicate channel copy already applied
             }
-            if self.pipeline.is_some() {
+            if wants_observations {
                 observations.push(Self::build_observation(
                     &self.world,
                     rx_idx,
@@ -1207,6 +1253,9 @@ impl Engine {
         self.perf.detector_observations += observations.len() as u64;
         if let Some(pipeline) = self.pipeline.as_mut() {
             pipeline.ingest_messages(&observations);
+        }
+        if let Some(sink) = self.obs_sink.as_mut() {
+            sink.on_messages(&observations);
         }
         self.scratch.seen_pairs = seen_pairs;
         self.scratch.seen_payloads = seen_payloads;

@@ -802,6 +802,11 @@ pub mod json {
             }
         }
 
+        /// Writes a string array element.
+        pub fn push_str(&mut self, value: &str) {
+            self.push_string(value);
+        }
+
         /// Writes a nested object field.
         pub fn field_obj(&mut self, name: &str, f: impl FnOnce(&mut Writer)) {
             self.key(name);

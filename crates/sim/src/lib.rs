@@ -60,7 +60,7 @@ pub mod prelude {
     pub use crate::agents::{JoinerAgent, JoinerCredentials, JoinerOutcome};
     pub use crate::attack::{Attack, NoAttack, SecurityAttribute};
     pub use crate::defense::{Defense, DetectionEvent, NoDefense, RejectReason};
-    pub use crate::engine::Engine;
+    pub use crate::engine::{Engine, ObservationSink};
     pub use crate::events::{Event, EventLog, LoggedEvent};
     pub use crate::fault::{Fault, NoFault};
     pub use crate::harness::{derive_seed, Batch, BatchEntry, BatchJob, BatchReport, JobOutcome};

@@ -195,6 +195,13 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the communication step (beacon interval), seconds. The beacon
+    /// rate is its reciprocal: 0.05 → 20 Hz beaconing.
+    pub fn comm_step(mut self, secs: f64) -> Self {
+        self.scenario.comm_step = secs;
+        self
+    }
+
     /// Sets the RNG seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.scenario.seed = seed;

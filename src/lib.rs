@@ -23,6 +23,7 @@
 //! | [`faults`] | deterministic benign faults (burst loss, sensor outages, clock skew, RSU blackouts) and seed-derived schedules |
 //! | [`detect`] | the streaming misbehavior-detection pipeline (kinematic, ranging, frequency, identity, freshness detectors + fusion) |
 //! | [`core`] | taxonomies, the ISO/SAE 21434 risk framework and the experiment runner |
+//! | [`dataset`] | ML dataset factory: labeled per-beacon columnar shards + the learned-detector baseline |
 //!
 //! # Quickstart
 //!
@@ -58,6 +59,7 @@
 pub use platoon_attacks as attacks;
 pub use platoon_core as core;
 pub use platoon_crypto as crypto;
+pub use platoon_dataset as dataset;
 pub use platoon_defense as defense;
 pub use platoon_detect as detect;
 pub use platoon_dynamics as dynamics;
@@ -74,6 +76,7 @@ pub mod prelude {
         CertificateAuthority, KeyPair, PrincipalId, SequenceWindow, Signer, SymmetricKey,
         TimestampWindow,
     };
+    pub use platoon_dataset::prelude::*;
     pub use platoon_defense::prelude::*;
     pub use platoon_detect::prelude::*;
     pub use platoon_dynamics::prelude::*;

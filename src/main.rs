@@ -9,6 +9,7 @@
 //! cargo run --release -- serve               # persistent job server w/ result cache
 //! cargo run --release -- submit --experiment smoke --quick  # batch via the server
 //! cargo run --release -- campaign --quick    # stealth-vs-damage search → CAMPAIGN_quick.json
+//! cargo run --release -- dataset --quick     # labeled shards + learned baseline → DATASET_quick.json
 //! cargo run --release -- perf --help         # all perf options
 //! ```
 //!
@@ -32,6 +33,7 @@ fn main() {
         Some("serve") => std::process::exit(platoon_server::cli::serve_cli_main(&args[1..])),
         Some("submit") => std::process::exit(platoon_server::cli::submit_cli_main(&args[1..])),
         Some("campaign") => std::process::exit(platoon_campaign::cli::cli_main(&args[1..])),
+        Some("dataset") => std::process::exit(platoon_dataset::cli::cli_main(&args[1..])),
         Some("--help") | Some("-h") | None => {
             eprintln!(
                 "usage: platoon-security <command>\n\
@@ -52,6 +54,9 @@ fn main() {
                  \x20                       (see `submit --help`)\n\
                  \x20 campaign [options]    adversarial stealth-vs-damage parameter search,\n\
                  \x20                       written to CAMPAIGN_<label>.json (see `campaign --help`)\n\
+                 \x20 dataset [options]     labeled per-beacon train/test shards + the learned\n\
+                 \x20                       detector baseline, written to DATASET_<label>.json\n\
+                 \x20                       (see `dataset --help`)\n\
                  For tables and figures: cargo run --release -p platoon-bench --bin report"
             );
             std::process::exit(if args.is_empty() { 2 } else { 0 });

@@ -9,7 +9,7 @@ use platoon_core::experiments::common::{make_attack, Effort};
 use platoon_core::experiments::corridor::{
     corridor_arm, corridor_scenario, CORRIDOR_BASE_SEED, CORRIDOR_HORIZON_M,
 };
-use platoon_detect::pipeline::{Pipeline, PipelineConfig};
+use platoon_detect::pipeline::PipelineConfig;
 use platoon_sim::engine::Engine;
 use platoon_sim::prelude::Scenario;
 use platoon_trace::TraceRecorder;
@@ -62,7 +62,7 @@ fn attacked_run(horizon: f64) -> (platoon_sim::prelude::RunSummary, u64) {
         .build();
     let mut engine = Engine::new(scenario);
     engine.add_attack(make_attack("sybil", effort));
-    engine.attach_detectors(Pipeline::new(PipelineConfig::default_profile()));
+    engine.attach_detector_config(PipelineConfig::default_profile());
     let summary = engine.run();
     (summary, engine.medium_pairs_considered())
 }

@@ -1,0 +1,77 @@
+//! Integration: the dataset factory's shards are deterministic — byte for
+//! byte — regardless of how many harness workers assembled them, the
+//! train/test split is disjoint by construction, and the row labels agree
+//! with the simulation's ground truth.
+
+use platoon_security::dataset::columnar::Shard;
+use platoon_security::dataset::factory::export_grid;
+
+#[test]
+fn shards_are_byte_identical_across_worker_counts() {
+    let (train_serial, test_serial) = export_grid(true, 1);
+    let (train_parallel, test_parallel) = export_grid(true, 8);
+
+    let train_bytes = train_serial.encode();
+    let test_bytes = test_serial.encode();
+    assert_eq!(
+        train_bytes,
+        train_parallel.encode(),
+        "train shard must be byte-identical at any worker count"
+    );
+    assert_eq!(
+        test_bytes,
+        test_parallel.encode(),
+        "test shard must be byte-identical at any worker count"
+    );
+    assert_eq!(train_serial.digest(), train_parallel.digest());
+    assert_eq!(test_serial.digest(), test_parallel.digest());
+
+    // And what was written is exactly what decodes back.
+    assert_eq!(Shard::decode(&train_bytes).unwrap(), train_serial);
+    assert_eq!(Shard::decode(&test_bytes).unwrap(), test_serial);
+}
+
+#[test]
+fn split_is_disjoint_and_labels_agree_with_truth() {
+    let (train, test) = export_grid(true, 8);
+
+    // Whole-cell split: no cell label (attack arm × seed offset) appears
+    // in both shards, and the two shards cover distinct seeds.
+    for tc in &train.cells {
+        assert!(
+            !test.cells.iter().any(|c| c.label == tc.label),
+            "cell {} appears in both splits",
+            tc.label
+        );
+    }
+    assert!(!train.cells.is_empty() && !test.cells.is_empty());
+
+    // Label agreement with the simulation's TruthLabels: the insider's
+    // forged beacons are convicted (in every split holding that arm),
+    // benign cells never are.
+    for shard in [&train, &test] {
+        for cell in &shard.cells {
+            assert_eq!(cell.features.len(), cell.labels.len(), "{}", cell.label);
+            if cell.label.starts_with("insider-fdi/") {
+                assert!(
+                    cell.positives() > 0,
+                    "insider cell {} exported no malicious rows",
+                    cell.label
+                );
+                assert!(
+                    cell.positives() < cell.labels.len() as u64,
+                    "insider cell {} labeled even pre-attack traffic malicious",
+                    cell.label
+                );
+            }
+            if cell.label.starts_with("benign/") {
+                assert_eq!(
+                    cell.positives(),
+                    0,
+                    "benign cell {} has malicious rows",
+                    cell.label
+                );
+            }
+        }
+    }
+}

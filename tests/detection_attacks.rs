@@ -15,10 +15,6 @@ fn scenario(label: &str) -> Scenario {
         .build()
 }
 
-fn default_pipeline() -> Pipeline {
-    Pipeline::new(PipelineConfig::default_profile())
-}
-
 /// The first alert naming the given principal, if any.
 fn first_alert_naming(engine: &Engine, suspect: PrincipalId) -> Option<f64> {
     engine
@@ -35,7 +31,7 @@ fn clean_run_raises_no_alarms_under_either_profile() {
         ("strict", PipelineConfig::strict()),
     ] {
         let mut engine = Engine::new(scenario("detect/clean"));
-        engine.attach_detectors(Pipeline::new(config));
+        engine.attach_detector_config(config);
         let summary = engine.run();
         assert!(
             engine.alerts().is_empty(),
@@ -54,7 +50,7 @@ fn replay_is_detected_when_the_replays_start() {
         replay_from: 10.0,
         ..Default::default()
     })));
-    engine.attach_detectors(default_pipeline());
+    engine.attach_detector_config(PipelineConfig::default_profile());
     engine.run();
     let first = engine.alerts().first().expect("replays must alert").time;
     assert!(
@@ -77,7 +73,7 @@ fn impersonated_victim_stream_is_flagged() {
         duration: 10.0,
         ..Default::default()
     })));
-    engine.attach_detectors(default_pipeline());
+    engine.attach_detector_config(PipelineConfig::default_profile());
     engine.run();
     let t = first_alert_naming(&engine, PrincipalId(1))
         .expect("the impersonated identity must be flagged");
@@ -94,7 +90,7 @@ fn sybil_ghosts_are_flagged_as_a_burst() {
         start: 10.0,
         ..Default::default()
     })));
-    engine.attach_detectors(default_pipeline());
+    engine.attach_detector_config(PipelineConfig::default_profile());
     engine.run();
     let ghost_alert = engine
         .alerts()
@@ -115,7 +111,7 @@ fn jamming_raises_a_channel_alarm() {
         start: 10.0,
         ..Default::default()
     })));
-    engine.attach_detectors(default_pipeline());
+    engine.attach_detector_config(PipelineConfig::default_profile());
     engine.run();
     let channel = engine
         .alerts()
@@ -141,7 +137,7 @@ fn malware_silenced_vehicle_is_flagged_by_the_strict_profile() {
         infect_at: 3.0,
         ..Default::default()
     })));
-    engine.attach_detectors(Pipeline::new(PipelineConfig::strict()));
+    engine.attach_detector_config(PipelineConfig::strict());
     engine.run();
     let infected: Vec<PrincipalId> = engine
         .world()

@@ -1,0 +1,89 @@
+//! Regression: the flood detector's rate limit must come from the
+//! scenario's configured beacon rate, not a hardcoded 10 Hz assumption.
+//!
+//! The old limit was `flood_factor * 10.0` — 30 beacons per second under
+//! the default factor regardless of scenario. Any honest platoon beaconing
+//! past that (40 Hz safety beaconing, say) was mislabeled as a flood.
+//! `Engine::attach_detector_config` now derives the nominal rate from the
+//! scenario (`1 / comm_step`), so honest high-rate traffic is silent at
+//! any configured rate, while a genuine flood at the same nominal rate
+//! stays caught (pinned unit-side in `platoon_detect::frequency`).
+
+use platoon_security::prelude::*;
+
+fn scenario_at(label: &str, comm_step: f64) -> Scenario {
+    Scenario::builder()
+        .label(label)
+        .vehicles(6)
+        .duration(30.0)
+        .max_platoon_size(16)
+        .comm_step(comm_step)
+        .seed(2021)
+        .build()
+}
+
+/// Alerts to which the frequency detector contributed.
+fn frequency_alerts(engine: &Engine) -> usize {
+    engine
+        .alerts()
+        .iter()
+        .filter(|a| a.contributors.iter().any(|(name, _)| *name == "frequency"))
+        .count()
+}
+
+#[test]
+fn benign_20hz_platoon_raises_no_frequency_alerts() {
+    let mut engine = Engine::new(scenario_at("detect/benign-20hz", 0.05));
+    engine.attach_detector_config(PipelineConfig::default_profile());
+    let summary = engine.run();
+    assert_eq!(summary.collisions, 0);
+    assert_eq!(
+        frequency_alerts(&engine),
+        0,
+        "honest 20 Hz beaconing flagged as flood: {:?}",
+        engine.alerts()
+    );
+    assert!(
+        engine.alerts().is_empty(),
+        "honest 20 Hz platoon raised {:?}",
+        engine.alerts()
+    );
+}
+
+#[test]
+fn benign_40hz_platoon_is_silent_once_the_rate_is_scenario_derived() {
+    // 40 Hz is past the old hardcoded 30/s limit, so this exact scenario
+    // used to drown in frequency false positives (see the companion test
+    // below). With the attach path deriving the limit from comm_step it
+    // must be completely silent.
+    let mut engine = Engine::new(scenario_at("detect/benign-40hz", 0.025));
+    engine.attach_detector_config(PipelineConfig::default_profile());
+    engine.run();
+    assert_eq!(
+        frequency_alerts(&engine),
+        0,
+        "honest 40 Hz beaconing flagged as flood: {:?}",
+        engine.alerts()
+    );
+}
+
+#[test]
+fn the_old_hardcoded_rate_assumption_flags_the_same_benign_run() {
+    // Pin the bug this file guards against: force the pre-fix assumption
+    // (nominal 10 Hz, the old hardcoded constant) onto the same honest
+    // 40 Hz scenario by bypassing the rate-plumbing attach path. Honest
+    // senders are then convicted as flooders — the false-positive storm
+    // the scenario-derived limit eliminates.
+    let mut engine = Engine::new(scenario_at("detect/benign-40hz-oldbug", 0.025));
+    let config = PipelineConfig::default_profile();
+    assert_eq!(
+        config.frequency.nominal_rate_hz, 10.0,
+        "default config still documents the legacy 10 Hz assumption"
+    );
+    engine.attach_detectors(Pipeline::new(config));
+    engine.run();
+    assert!(
+        frequency_alerts(&engine) > 0,
+        "the 10 Hz assumption should mislabel honest 40 Hz traffic"
+    );
+}
