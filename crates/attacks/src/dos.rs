@@ -63,7 +63,7 @@ impl Default for JoinFloodConfig {
 /// let summary = engine.run();
 /// assert!(summary.maneuvers.join_requests > 0, "the flood reached the leader");
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct JoinFloodAttack {
     config: JoinFloodConfig,
     sent: u64,
@@ -138,6 +138,10 @@ impl Attack for JoinFloodAttack {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Attack>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -72,7 +72,7 @@ pub struct TrackPoint {
 /// let ear = engine.attacks()[0].as_any().downcast_ref::<EavesdropAttack>().unwrap();
 /// assert!(ear.beacons_read() > 0, "plain beacons leak");
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct EavesdropAttack {
     config: EavesdropConfig,
     /// Total frames overheard.
@@ -213,6 +213,10 @@ impl Attack for EavesdropAttack {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Attack>> {
+        Some(Box::new(self.clone()))
     }
 }
 

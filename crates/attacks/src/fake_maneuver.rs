@@ -83,7 +83,7 @@ impl Default for FakeManeuverConfig {
 /// let summary = engine.run();
 /// assert!(summary.fragmented_fraction > 0.0, "the forged split was obeyed");
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FakeManeuverAttack {
     config: FakeManeuverConfig,
     injections: u64,
@@ -175,6 +175,10 @@ impl Attack for FakeManeuverAttack {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Attack>> {
+        Some(Box::new(self.clone()))
     }
 }
 

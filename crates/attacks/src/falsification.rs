@@ -72,7 +72,7 @@ impl Default for FalsificationConfig {
 /// engine.run();
 /// assert!(engine.world().vehicles[2].beacon_lie.is_some());
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct FalsificationAttack {
     config: FalsificationConfig,
     lying: bool,
@@ -123,6 +123,10 @@ impl Attack for FalsificationAttack {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Attack>> {
+        Some(Box::new(self.clone()))
     }
 }
 

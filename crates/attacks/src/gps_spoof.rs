@@ -57,7 +57,7 @@ impl Default for GpsSpoofConfig {
 /// engine.run();
 /// assert!(engine.world().vehicles[2].sensors.gps.fault.is_active());
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct GpsSpoofAttack {
     config: GpsSpoofConfig,
     engaged: bool,
@@ -103,6 +103,10 @@ impl Attack for GpsSpoofAttack {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Attack>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -67,7 +67,7 @@ impl Default for ImpersonationConfig {
 /// })));
 /// engine.run();
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ImpersonationAttack {
     config: ImpersonationConfig,
     forged: u64,
@@ -147,6 +147,10 @@ impl Attack for ImpersonationAttack {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Attack>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -69,7 +69,7 @@ impl Default for JammingConfig {
 /// let summary = engine.run();
 /// assert!(summary.leader_tail_pdr < 0.9, "the jammer cost beacons");
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct JammingAttack {
     config: JammingConfig,
     active: bool,
@@ -130,6 +130,10 @@ impl Attack for JammingAttack {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Attack>> {
+        Some(Box::new(self.clone()))
     }
 }
 

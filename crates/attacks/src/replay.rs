@@ -68,7 +68,7 @@ impl Default for ReplayConfig {
 /// let replay = engine.attacks()[0].as_any().downcast_ref::<ReplayAttack>().unwrap();
 /// assert!(replay.replayed_count() > 0);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ReplayAttack {
     config: ReplayConfig,
     recorded: Vec<Payload>,
@@ -159,6 +159,10 @@ impl Attack for ReplayAttack {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Attack>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -83,7 +83,7 @@ impl Default for SensorSpoofConfig {
 /// let summary = engine.run();
 /// assert!(summary.min_gap < 10.0, "the victim closed in on the false range");
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SensorSpoofAttack {
     config: SensorSpoofConfig,
     active: bool,
@@ -142,6 +142,10 @@ impl Attack for SensorSpoofAttack {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Attack>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -73,7 +73,7 @@ impl Default for SybilConfig {
 /// // The undefended roster now contains phantoms.
 /// assert!(engine.maneuvers().roster().len() >= engine.world().vehicles.len());
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SybilAttack {
     config: SybilConfig,
     last_round: f64,
@@ -232,6 +232,10 @@ impl Attack for SybilAttack {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Attack>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -9,6 +9,7 @@
 //! cargo run --release -p platoon-bench --bin report -- trace --quick
 //! cargo run --release -p platoon-bench --bin report -- trace-diff A B
 //! cargo run --release -p platoon-bench --bin report -- corridor --quick
+//! cargo run --release -p platoon-bench --bin report -- regimes --quick
 //! cargo run --release -p platoon-bench --bin report -- serve
 //! cargo run --release -p platoon-bench --bin report -- submit --experiment smoke --quick
 //! cargo run --release -p platoon-bench --bin report -- campaign --quick
@@ -31,6 +32,9 @@ fn main() {
     }
     if args.first().map(String::as_str) == Some("corridor") {
         std::process::exit(platoon_core::experiments::corridor::cli_main(&args[1..]));
+    }
+    if args.first().map(String::as_str) == Some("regimes") {
+        std::process::exit(platoon_core::experiments::regimes::cli_main(&args[1..]));
     }
     if args.first().map(String::as_str) == Some("serve") {
         std::process::exit(platoon_server::cli::serve_cli_main(&args[1..]));
@@ -60,6 +64,7 @@ fn main() {
                 eprintln!("  trace        deterministic per-tick trace of one scenario (see `report trace --help`)");
                 eprintln!("  trace-diff   first diverging tick/phase between two traces");
                 eprintln!("  corridor     highway-scale multi-platoon corridor grid (see `report corridor --help`)");
+                eprintln!("  regimes      detection quality across driving regimes (see `report regimes --help`)");
                 eprintln!("  serve        persistent job server with a content-addressed result cache (see `report serve --help`)");
                 eprintln!("  submit       submit an experiment grid to the server (see `report submit --help`)");
                 eprintln!("  campaign     adversarial stealth-vs-damage parameter search (see `report campaign --help`)");

@@ -11,6 +11,7 @@ pub mod common;
 pub mod corridor;
 pub mod figures;
 pub mod privacy;
+pub mod regimes;
 pub mod robustness;
 pub mod table2;
 pub mod table3;

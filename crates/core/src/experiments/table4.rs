@@ -44,6 +44,10 @@ pub fn profile_for(config: &str) -> PipelineConfig {
     match config {
         "default" => PipelineConfig::default_profile(),
         "strict" => PipelineConfig::strict(),
+        // Regime-experiment profiles (not part of the Table IV sweep —
+        // CONFIGS stays as-is so the golden document keeps its shape).
+        "cruise" => super::regimes::cruise_profile(),
+        "regime-aware" => super::regimes::regime_aware_profile(),
         other => panic!("unknown detector config {other}"),
     }
 }

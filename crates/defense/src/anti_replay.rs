@@ -52,7 +52,7 @@ pub enum ReplayWindowKind {
 /// let summary = engine.run();
 /// assert_eq!(summary.collisions, 0);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct AntiReplayDefense {
     kind: ReplayWindowKind,
     /// Per-receiver timestamp windows (receivers do not share state).
@@ -153,6 +153,10 @@ impl Defense for AntiReplayDefense {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Defense>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -74,7 +74,7 @@ impl Default for HybridConfig {
 /// let summary = engine.run();
 /// assert_eq!(summary.collisions, 0);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct HybridConfirmDefense {
     config: HybridConfig,
     /// (receiver, payload hash) → (first channel seen, time).
@@ -156,6 +156,10 @@ impl Defense for HybridConfirmDefense {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Defense>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -91,7 +91,7 @@ impl Default for MitigationConfig {
 /// let summary = engine.run();
 /// assert_eq!(summary.collisions, 0);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MitigationDefense {
     config: MitigationConfig,
     /// Previous step's (post-mitigation) commands per vehicle.
@@ -252,6 +252,10 @@ impl Defense for MitigationDefense {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Defense>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -57,7 +57,7 @@ impl Default for OnboardConfig {
 /// engine.run();
 /// assert!(engine.world().vehicles.iter().all(|v| v.hardened));
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct OnboardDefense {
     config: OnboardConfig,
     /// Pending remediations: (vehicle index, completes at).
@@ -148,6 +148,10 @@ impl Defense for OnboardDefense {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Defense>> {
+        Some(Box::new(self.clone()))
     }
 }
 

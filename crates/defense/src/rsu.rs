@@ -76,7 +76,7 @@ impl Default for RsuConfig {
 /// let rsu = engine.defenses()[0].as_any().downcast_ref::<RsuDefense>().unwrap();
 /// assert!(rsu.coverage_fraction() > 0.0);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RsuDefense {
     config: RsuConfig,
     registered: HashSet<PrincipalId>,
@@ -224,6 +224,10 @@ impl Defense for RsuDefense {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Defense>> {
+        Some(Box::new(self.clone()))
     }
 }
 

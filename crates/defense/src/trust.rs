@@ -86,7 +86,7 @@ impl Reputation {
 /// let trust = engine.defenses()[0].as_any().downcast_ref::<TrustDefense>().unwrap();
 /// assert!(trust.trust_of(platoon_crypto::PrincipalId(1)) > 0.8);
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TrustDefense {
     config: TrustConfig,
     reputations: HashMap<(usize, PrincipalId), Reputation>,
@@ -253,6 +253,10 @@ impl Defense for TrustDefense {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Defense>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -107,7 +107,7 @@ impl VpdAdaConfig {
 /// let summary = engine.run();
 /// assert_eq!(summary.detections, 0, "honest traffic raises no alarms");
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct VpdAdaDefense {
     config: VpdAdaConfig,
     /// Consecutive violation counters per (receiver, claimed sender).
@@ -334,6 +334,10 @@ impl Defense for VpdAdaDefense {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Defense>> {
+        Some(Box::new(self.clone()))
     }
 }
 

@@ -49,6 +49,20 @@ pub trait Detector: std::fmt::Debug {
     fn tick(&mut self, ctx: &TickContext<'_>, sink: &mut Vec<Evidence>) {
         let _ = (ctx, sink);
     }
+
+    /// The driving regime changed: `label` is the new phase's name.
+    /// Regime-aware detectors swap in per-phase threshold sets here; the
+    /// default ignores the notification (regime-oblivious tuning).
+    fn on_regime(&mut self, label: &str) {
+        let _ = label;
+    }
+
+    /// Clones the detector (including all per-sender state) into a fresh
+    /// box, for engine snapshots. `None` means the detector does not
+    /// support snapshotting; pipelines carrying it cannot be checkpointed.
+    fn clone_box(&self) -> Option<Box<dyn Detector>> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -113,6 +113,10 @@ impl Detector for FrequencyDetector {
         "frequency"
     }
 
+    fn clone_box(&self) -> Option<Box<dyn Detector>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn observe_beacon(&mut self, obs: &BeaconObservation, sink: &mut Vec<Evidence>) {
         self.heard(obs.ctx.observer, obs.sender.0, obs.time);
         let limit = (self.config.flood_factor * self.config.nominal_rate_hz).max(1.0) as u32;

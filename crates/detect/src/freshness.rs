@@ -72,6 +72,10 @@ impl Detector for FreshnessDetector {
         "freshness"
     }
 
+    fn clone_box(&self) -> Option<Box<dyn Detector>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn observe_beacon(&mut self, obs: &BeaconObservation, sink: &mut Vec<Evidence>) {
         let cfg = self.config.clone();
         if obs.time - obs.claim.timestamp > cfg.max_age {

@@ -184,6 +184,10 @@ impl Detector for IdentityDetector {
         "identity"
     }
 
+    fn clone_box(&self) -> Option<Box<dyn Detector>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn observe_beacon(&mut self, obs: &BeaconObservation, sink: &mut Vec<Evidence>) {
         self.check(
             obs.time,

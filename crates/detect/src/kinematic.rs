@@ -11,8 +11,12 @@ use std::collections::BTreeMap;
 /// Tuning for the kinematic detector.
 #[derive(Clone, Debug, Default)]
 pub struct KinematicConfig {
-    /// The plausibility limits to enforce.
+    /// The plausibility limits to enforce when no regime phase matches.
     pub limits: KinematicLimits,
+    /// Per-regime-phase threshold sets: when the engine announces a regime
+    /// phase whose label appears here, the paired limits replace `limits`
+    /// until the next phase change. Unlisted labels fall back to `limits`.
+    pub phase_limits: Vec<(String, KinematicLimits)>,
 }
 
 /// Streaming kinematic-plausibility detector.
@@ -23,6 +27,9 @@ pub struct KinematicConfig {
 #[derive(Clone, Debug, Default)]
 pub struct KinematicDetector {
     config: KinematicConfig,
+    /// Limits selected by the active regime phase; `None` means the base
+    /// `config.limits` apply.
+    active: Option<KinematicLimits>,
     history: BTreeMap<(usize, u64), ClaimSnapshot>,
 }
 
@@ -31,8 +38,14 @@ impl KinematicDetector {
     pub fn new(config: KinematicConfig) -> Self {
         KinematicDetector {
             config,
+            active: None,
             history: BTreeMap::new(),
         }
+    }
+
+    /// The limits currently in force (regime-selected or base).
+    pub fn active_limits(&self) -> &KinematicLimits {
+        self.active.as_ref().unwrap_or(&self.config.limits)
     }
 
     fn strength(fault: ClaimFault) -> f64 {
@@ -62,7 +75,8 @@ impl Detector for KinematicDetector {
             accel: obs.claim.accel,
         };
         let prev = self.history.get(&key).copied();
-        for fault in checks::claim_faults(prev, snap, &self.config.limits) {
+        let limits = *self.active_limits();
+        for fault in checks::claim_faults(prev, snap, &limits) {
             sink.push(Evidence {
                 time: obs.time,
                 target: AlertTarget::Sender(obs.sender),
@@ -71,6 +85,19 @@ impl Detector for KinematicDetector {
             });
         }
         self.history.insert(key, snap);
+    }
+
+    fn on_regime(&mut self, label: &str) {
+        self.active = self
+            .config
+            .phase_limits
+            .iter()
+            .find(|(name, _)| name == label)
+            .map(|(_, limits)| *limits);
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Detector>> {
+        Some(Box::new(self.clone()))
     }
 }
 

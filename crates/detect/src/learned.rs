@@ -186,6 +186,10 @@ impl Detector for LearnedDetector {
         "learned"
     }
 
+    fn clone_box(&self) -> Option<Box<dyn Detector>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn observe_beacon(&mut self, obs: &BeaconObservation, sink: &mut Vec<Evidence>) {
         let x = self.extractor.extract(obs);
         let p = self.model.score(&x);

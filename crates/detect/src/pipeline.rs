@@ -150,6 +150,32 @@ impl Pipeline {
         self.drain_scratch();
     }
 
+    /// Announces a driving-regime phase change to every detector, so
+    /// regime-aware detectors can swap in per-phase threshold sets.
+    pub fn on_regime(&mut self, label: &str) {
+        for det in &mut self.detectors {
+            det.on_regime(label);
+        }
+    }
+
+    /// Clones the whole pipeline — detector banks, fusion tracks, alert
+    /// log — for engine snapshots. Returns `None` if any detector in the
+    /// bank does not support snapshotting (see [`Detector::clone_box`]).
+    pub fn try_clone(&self) -> Option<Pipeline> {
+        let mut detectors = Vec::with_capacity(self.detectors.len());
+        for det in &self.detectors {
+            detectors.push(det.clone_box()?);
+        }
+        Some(Pipeline {
+            detectors,
+            fusion: self.fusion.clone(),
+            scratch: self.scratch.clone(),
+            fresh: self.fresh.clone(),
+            log: self.log.clone(),
+            evidence_count: self.evidence_count,
+        })
+    }
+
     /// Advances time once per simulation step: silence monitoring plus
     /// fusion decay.
     pub fn tick(&mut self, ctx: &TickContext<'_>) {

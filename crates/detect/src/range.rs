@@ -61,6 +61,10 @@ impl Detector for RangeConsistencyDetector {
         "range"
     }
 
+    fn clone_box(&self) -> Option<Box<dyn Detector>> {
+        Some(Box::new(self.clone()))
+    }
+
     fn observe_beacon(&mut self, obs: &BeaconObservation, sink: &mut Vec<Evidence>) {
         if obs.ctx.sender_is_predecessor {
             if let Some((measured_gap, measured_rate)) = obs.ctx.ranged_gap {

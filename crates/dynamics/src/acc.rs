@@ -85,6 +85,10 @@ impl LongitudinalController for AccController {
     fn name(&self) -> &'static str {
         "acc"
     }
+
+    fn clone_box(&self) -> Option<Box<dyn LongitudinalController>> {
+        Some(Box::new(*self))
+    }
 }
 
 #[cfg(test)]

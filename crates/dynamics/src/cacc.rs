@@ -165,6 +165,10 @@ impl LongitudinalController for CaccController {
     fn name(&self) -> &'static str {
         "cacc"
     }
+
+    fn clone_box(&self) -> Option<Box<dyn LongitudinalController>> {
+        Some(Box::new(*self))
+    }
 }
 
 #[cfg(test)]

@@ -70,6 +70,10 @@ impl LongitudinalController for ConsensusController {
     fn name(&self) -> &'static str {
         "consensus"
     }
+
+    fn clone_box(&self) -> Option<Box<dyn LongitudinalController>> {
+        Some(Box::new(*self))
+    }
 }
 
 #[cfg(test)]

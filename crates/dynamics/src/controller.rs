@@ -98,6 +98,13 @@ pub trait LongitudinalController: std::fmt::Debug + Send + Sync {
 
     /// Human-readable controller name for reports.
     fn name(&self) -> &'static str;
+
+    /// Clones the controller (including all internal state) into a fresh
+    /// box, for engine snapshots. `None` means the controller does not
+    /// support snapshotting; engines carrying it cannot be checkpointed.
+    fn clone_box(&self) -> Option<Box<dyn LongitudinalController>> {
+        None
+    }
 }
 
 /// Simple speed-tracking cruise controller, used by the platoon leader to
@@ -127,6 +134,10 @@ impl LongitudinalController for CruiseController {
 
     fn name(&self) -> &'static str {
         "cruise"
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn LongitudinalController>> {
+        Some(Box::new(*self))
     }
 }
 

@@ -93,6 +93,10 @@ impl LongitudinalController for PloegController {
     fn name(&self) -> &'static str {
         "ploeg"
     }
+
+    fn clone_box(&self) -> Option<Box<dyn LongitudinalController>> {
+        Some(Box::new(*self))
+    }
 }
 
 #[cfg(test)]

@@ -11,11 +11,43 @@ use crate::window::{any_active, FaultWindow};
 use platoon_dynamics::sensors::SensorFault;
 use platoon_sim::fault::Fault;
 use platoon_sim::world::{Rsu, World};
+use platoon_v2x::vlc::VLC_OUTAGE_PER_DB;
 use std::any::Any;
+
+/// Which physical channel(s) a channel-degradation fault touches.
+///
+/// Weather fronts and interference degrade every active medium, not just
+/// 802.11p — a hybrid DSRC+VLC platoon driving into fog loses both the RF
+/// link *and* the optical one. The default therefore hits all media; the
+/// narrow variants exist for experiments that isolate one channel (e.g. a
+/// jammer study that must leave the VLC fallback clean).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ChannelTarget {
+    /// Every active medium: the DSRC noise floor plus the VLC
+    /// ambient-outage rate ([`VLC_OUTAGE_PER_DB`] per dB).
+    #[default]
+    All,
+    /// 802.11p only (the historical behaviour).
+    DsrcOnly,
+    /// The optical channel only.
+    VlcOnly,
+}
+
+impl ChannelTarget {
+    /// Whether the target includes the DSRC channel.
+    pub fn hits_dsrc(self) -> bool {
+        matches!(self, ChannelTarget::All | ChannelTarget::DsrcOnly)
+    }
+
+    /// Whether the target includes the VLC channel.
+    pub fn hits_vlc(self) -> bool {
+        matches!(self, ChannelTarget::All | ChannelTarget::VlcOnly)
+    }
+}
 
 /// Rain-fade style burst packet loss: raises the DSRC noise floor by a fixed
 /// number of dB while any window is active.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct BurstPacketLoss {
     windows: Vec<FaultWindow>,
     extra_noise_dbm: f64,
@@ -60,31 +92,49 @@ impl Fault for BurstPacketLoss {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_box(&self) -> Option<Box<dyn Fault>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
-/// A slow channel degradation: the DSRC noise floor climbs linearly from
+/// A slow channel degradation: the noise environment climbs linearly from
 /// `start` at `rate_db_per_s`, capped at `cap_db` above its base value.
+/// The dB figure raises the DSRC noise floor directly and — unless a
+/// narrower [`ChannelTarget`] is selected — degrades the optical channel
+/// too, at [`VLC_OUTAGE_PER_DB`] ambient-outage probability per dB (the
+/// optical link has no RF noise floor to raise).
 ///
 /// Models the gradual onsets (weather fronts, growing interference) that
 /// threshold detectors confuse with low-power jamming.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct NoiseFloorRamp {
     start: f64,
     rate_db_per_s: f64,
     cap_db: f64,
+    target: ChannelTarget,
     applied_db: f64,
+    applied_outage: f64,
 }
 
 impl NoiseFloorRamp {
     /// A ramp beginning at `start` seconds, climbing `rate_db_per_s` up to
-    /// `cap_db` total.
+    /// `cap_db` total, degrading every active medium.
     pub fn new(start: f64, rate_db_per_s: f64, cap_db: f64) -> Self {
         NoiseFloorRamp {
             start,
             rate_db_per_s,
             cap_db,
+            target: ChannelTarget::default(),
             applied_db: 0.0,
+            applied_outage: 0.0,
         }
+    }
+
+    /// Narrows the ramp to specific channel(s).
+    pub fn targeting(mut self, target: ChannelTarget) -> Self {
+        self.target = target;
+        self
     }
 }
 
@@ -94,22 +144,35 @@ impl Fault for NoiseFloorRamp {
     }
 
     fn apply(&mut self, world: &mut World, now: f64) {
-        let target = if now < self.start {
+        let target_db = if now < self.start {
             0.0
         } else {
             (self.rate_db_per_s * (now - self.start)).clamp(0.0, self.cap_db)
         };
-        world.medium.dsrc.noise_floor_dbm += target - self.applied_db;
-        self.applied_db = target;
+        if self.target.hits_dsrc() {
+            world.medium.dsrc.noise_floor_dbm += target_db - self.applied_db;
+            self.applied_db = target_db;
+        }
+        if self.target.hits_vlc() {
+            let outage = target_db * VLC_OUTAGE_PER_DB;
+            world.medium.vlc.ambient_outage_prob += outage - self.applied_outage;
+            self.applied_outage = outage;
+        }
     }
 
     fn restore(&mut self, world: &mut World) {
         world.medium.dsrc.noise_floor_dbm -= self.applied_db;
         self.applied_db = 0.0;
+        world.medium.vlc.ambient_outage_prob -= self.applied_outage;
+        self.applied_outage = 0.0;
     }
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Fault>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -131,7 +194,7 @@ pub enum SensorChannel {
 /// fault state the sensor already carried* (e.g. a bias injected by an
 /// attack) and puts it back when the window closes — or at end-of-run if
 /// the run stops mid-window — so no fault state ever leaks out of the run.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SensorOutage {
     vehicle: usize,
     channel: SensorChannel,
@@ -196,6 +259,10 @@ impl Fault for SensorOutage {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_box(&self) -> Option<Box<dyn Fault>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// A drifting local clock: from `start` on, the victim perceives stored
@@ -206,7 +273,7 @@ impl Fault for SensorOutage {
 /// failure mode that trips beacon-age plausibility checks. The mutation is
 /// transient (fresh beacons overwrite the stored state every step), so
 /// there is nothing to undo at end-of-run.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ClockSkew {
     vehicle: usize,
     start: f64,
@@ -252,17 +319,27 @@ impl Fault for ClockSkew {
     }
 
     fn restore(&mut self, _world: &mut World) {
-        self.last_now = None;
+        // Nothing to undo: the backdating is transient (fresh beacons
+        // overwrite the stored timestamps every step). Critically,
+        // `last_now` must survive restore — `restore_faults` may run
+        // mid-run (manual steppers, snapshot bookkeeping), and resetting
+        // the reference would swallow one tick's worth of skew on the
+        // next `apply`, diverging a restored-then-stepped run from an
+        // uninterrupted one.
     }
 
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_box(&self) -> Option<Box<dyn Fault>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 /// An infrastructure power cut: every RSU disappears from the world while a
 /// window is active and reappears — exactly as it was — afterwards.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RsuBlackout {
     windows: Vec<FaultWindow>,
     saved: Option<Vec<Rsu>>,
@@ -302,6 +379,10 @@ impl Fault for RsuBlackout {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Fault>> {
+        Some(Box::new(self.clone()))
     }
 }
 
@@ -486,6 +567,104 @@ mod tests {
             lossy.tail_leader_age_mean
         );
         assert_eq!(skewed.collisions, 0);
+    }
+
+    #[test]
+    fn noise_ramp_degrades_the_vlc_channel_in_hybrid_scenarios() {
+        // The ramp historically raised only the DSRC floor, so a hybrid
+        // platoon sailed through weather on a pristine optical channel.
+        let clean = Engine::new(quick("ramp-hybrid").comms(CommsMode::HybridVlc).build()).run();
+        let mut engine = Engine::new(quick("ramp-hybrid").comms(CommsMode::HybridVlc).build());
+        let base_outage = engine.world().medium.vlc.ambient_outage_prob;
+        engine.add_fault(Box::new(NoiseFloorRamp::new(2.0, 2.0, 20.0)));
+        for _ in 0..150 {
+            engine.step();
+        }
+        let applied = engine.world().medium.vlc.ambient_outage_prob - base_outage;
+        assert_close(
+            applied,
+            20.0 * platoon_v2x::vlc::VLC_OUTAGE_PER_DB,
+            "at the cap the VLC outage carries the full dB mapping",
+        );
+        engine.restore_faults();
+        assert_close(
+            engine.world().medium.vlc.ambient_outage_prob,
+            base_outage,
+            "VLC contribution removed",
+        );
+        let mut faulty = Engine::new(quick("ramp-hybrid").comms(CommsMode::HybridVlc).build());
+        faulty.add_fault(Box::new(NoiseFloorRamp::new(2.0, 2.0, 20.0)));
+        let faulty = faulty.run();
+        assert!(
+            faulty.leader_tail_pdr < clean.leader_tail_pdr,
+            "a 20 dB ramp must cost deliveries even with the optical fallback: {} !< {}",
+            faulty.leader_tail_pdr,
+            clean.leader_tail_pdr
+        );
+    }
+
+    #[test]
+    fn noise_ramp_can_be_narrowed_to_a_single_channel() {
+        let mut engine = Engine::new(quick("ramp-dsrc").comms(CommsMode::HybridVlc).build());
+        let base_floor = engine.world().medium.dsrc.noise_floor_dbm;
+        let base_outage = engine.world().medium.vlc.ambient_outage_prob;
+        engine.add_fault(Box::new(
+            NoiseFloorRamp::new(0.0, 5.0, 10.0).targeting(ChannelTarget::DsrcOnly),
+        ));
+        for _ in 0..100 {
+            engine.step();
+        }
+        assert!(
+            engine.world().medium.dsrc.noise_floor_dbm > base_floor + 9.0,
+            "DSRC floor raised"
+        );
+        assert_eq!(
+            engine.world().medium.vlc.ambient_outage_prob,
+            base_outage,
+            "a DSRC-only ramp leaves the optical channel untouched"
+        );
+        engine.restore_faults();
+        assert_close(
+            engine.world().medium.dsrc.noise_floor_dbm,
+            base_floor,
+            "floor restored",
+        );
+    }
+
+    #[test]
+    fn restore_is_idempotent_and_safe_to_step_after() {
+        // `restore_faults` may run mid-run (manual steppers, snapshot
+        // bookkeeping). Re-applying after a restore — or restoring twice —
+        // must behave exactly like an uninterrupted run.
+        let victim = 4;
+        let build = || {
+            let mut engine = Engine::new(quick("restore-mid").build());
+            engine.add_fault(Box::new(ClockSkew::new(victim, 0.0, 3.0)));
+            engine.add_fault(Box::new(SensorOutage::radar(
+                2,
+                vec![FaultWindow::new(4.0, 1e9)],
+            )));
+            engine.add_fault(Box::new(BurstPacketLoss::new(
+                vec![FaultWindow::new(5.0, 13.0)],
+                30.0,
+            )));
+            engine
+        };
+        let mut straight = build();
+        let straight = straight.run();
+
+        let mut interrupted = build();
+        for _ in 0..80 {
+            interrupted.step();
+        }
+        interrupted.restore_faults();
+        interrupted.restore_faults(); // double restore must be a no-op
+        let interrupted = interrupted.run();
+
+        assert_eq!(
+            straight, interrupted,
+            "mid-run restore_faults must not perturb the rest of the run"
+        );
     }
 
     #[test]

@@ -54,7 +54,8 @@ pub mod schedule;
 pub mod window;
 
 pub use faults::{
-    BurstPacketLoss, ClockSkew, NoiseFloorRamp, RsuBlackout, SensorChannel, SensorOutage,
+    BurstPacketLoss, ChannelTarget, ClockSkew, NoiseFloorRamp, RsuBlackout, SensorChannel,
+    SensorOutage,
 };
 pub use platoon_sim::fault::{Fault, NoFault};
 pub use schedule::FaultSchedule;

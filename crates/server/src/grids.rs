@@ -13,17 +13,18 @@
 
 use crate::job::JobSpec;
 use platoon_core::experiments::common::EXPERIMENT_BASE_SEED;
-use platoon_core::experiments::{corridor, robustness, table3, table4};
+use platoon_core::experiments::{corridor, regimes, robustness, table3, table4};
 use platoon_sim::harness::derive_seed;
 
 /// The grid names [`experiment_grid`] accepts.
-pub const EXPERIMENTS: [&str; 8] = [
+pub const EXPERIMENTS: [&str; 9] = [
     "table2",
     "table3",
     "table4",
     "robustness",
     "perf",
     "dataset",
+    "regimes",
     "corridor",
     "smoke",
 ];
@@ -108,6 +109,18 @@ pub fn experiment_grid(name: &str, quick: bool) -> Result<Vec<JobSpec>, String> 
                         attack: attack.clone(),
                         quick,
                         seed: EXPERIMENT_BASE_SEED + s,
+                    });
+                }
+            }
+        }
+        "regimes" => {
+            for profile in regimes::PROFILES {
+                for attack in regimes::ATTACKS {
+                    jobs.push(JobSpec::Regime {
+                        profile: profile.to_string(),
+                        attack: attack.to_string(),
+                        quick,
+                        seed: EXPERIMENT_BASE_SEED,
                     });
                 }
             }

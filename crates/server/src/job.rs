@@ -122,6 +122,19 @@ pub enum JobSpec {
         /// Scenario seed.
         seed: u64,
     },
+    /// One regime-experiment cell: a (detector profile, attack) run over
+    /// the canonical piecewise driving-regime plan, scored whole-run and
+    /// per-phase.
+    Regime {
+        /// Detector profile name (`cruise` / `regime-aware`).
+        profile: String,
+        /// Attack arm name (or `benign`).
+        attack: String,
+        /// Quick vs full effort.
+        quick: bool,
+        /// Scenario seed.
+        seed: u64,
+    },
     /// One corridor-grid cell: a multi-platoon corridor world.
     Corridor {
         /// Cell label (e.g. `corridor/indexed/6x8`).
@@ -170,6 +183,12 @@ impl JobSpec {
                 fnv1a(params.canonical_json().as_bytes()) as u32
             ),
             JobSpec::Dataset { attack, seed, .. } => format!("dataset/{attack}/{seed}"),
+            JobSpec::Regime {
+                profile,
+                attack,
+                seed,
+                ..
+            } => format!("regime/{profile}/{attack}/{seed}"),
             JobSpec::Corridor { label, .. } => label.clone(),
         }
     }
@@ -253,6 +272,18 @@ impl JobSpec {
                 w.field_bool("quick", *quick);
                 w.field_str("seed", &seed.to_string());
             }
+            JobSpec::Regime {
+                profile,
+                attack,
+                quick,
+                seed,
+            } => {
+                w.field_str("kind", "regime");
+                w.field_str("profile", profile);
+                w.field_str("attack", attack);
+                w.field_bool("quick", *quick);
+                w.field_str("seed", &seed.to_string());
+            }
             JobSpec::Corridor {
                 label,
                 per,
@@ -316,6 +347,12 @@ impl JobSpec {
                 seed: seed_field(v, "seed")?,
             }),
             "dataset" => Ok(JobSpec::Dataset {
+                attack: str_field(v, "attack")?,
+                quick: bool_field(v, "quick")?,
+                seed: seed_field(v, "seed")?,
+            }),
+            "regime" => Ok(JobSpec::Regime {
+                profile: str_field(v, "profile")?,
                 attack: str_field(v, "attack")?,
                 quick: bool_field(v, "quick")?,
                 seed: seed_field(v, "seed")?,
@@ -449,6 +486,24 @@ impl JobSpec {
                     w.field_u64("rows", shard.rows() as u64);
                     w.field_u64("positives", shard.positives());
                     w.field_str("digest", &format!("{:016x}", shard.digest()));
+                });
+            }
+            JobSpec::Regime {
+                profile,
+                attack,
+                quick,
+                seed,
+            } => {
+                let row = platoon_core::experiments::regimes::regime_arm(
+                    profile,
+                    attack,
+                    Effort::new(*quick),
+                    *seed,
+                );
+                w.obj(|w| {
+                    w.field_str("label", &self.label());
+                    w.field_str("seed", &seed.to_string());
+                    platoon_core::experiments::regimes::write_row(w, &row);
                 });
             }
             JobSpec::Corridor {
@@ -604,6 +659,12 @@ mod tests {
             },
             JobSpec::Dataset {
                 attack: "insider-fdi".into(),
+                quick: true,
+                seed: 2021,
+            },
+            JobSpec::Regime {
+                profile: "regime-aware".into(),
+                attack: "benign".into(),
                 quick: true,
                 seed: 2021,
             },

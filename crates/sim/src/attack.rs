@@ -73,6 +73,13 @@ pub trait Attack: fmt::Debug {
     /// Downcasting support so experiments can read attack-specific state
     /// (e.g. bytes captured by the eavesdropper) after a run.
     fn as_any(&self) -> &dyn Any;
+
+    /// Clones the attack (including all adversary state) into a fresh
+    /// box, for engine snapshots. `None` means the attack does not
+    /// support snapshotting; engines carrying it cannot be checkpointed.
+    fn clone_box(&self) -> Option<Box<dyn Attack>> {
+        None
+    }
 }
 
 /// A no-op attack, useful as the baseline arm of every experiment.
@@ -92,6 +99,10 @@ impl Attack for NoAttack {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Attack>> {
+        Some(Box::new(*self))
     }
 }
 

@@ -98,6 +98,14 @@ pub trait Defense: fmt::Debug {
 
     /// Downcasting support for experiment post-processing.
     fn as_any(&self) -> &dyn Any;
+
+    /// Clones the defense (including trust/reputation state) into a
+    /// fresh box, for engine snapshots. `None` means the defense does
+    /// not support snapshotting; engines carrying it cannot be
+    /// checkpointed.
+    fn clone_box(&self) -> Option<Box<dyn Defense>> {
+        None
+    }
 }
 
 /// The absent defense: accepts everything (the undefended baseline).
@@ -111,6 +119,10 @@ impl Defense for NoDefense {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Defense>> {
+        Some(Box::new(*self))
     }
 }
 

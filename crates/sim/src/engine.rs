@@ -24,6 +24,7 @@ use crate::fault::Fault;
 use crate::metrics::{score_alerts, DetectionSummary, MetricsCollector, RunSummary, TruthLabels};
 use crate::par;
 use crate::perf::PerfCounters;
+use crate::regime::{steps_for, RegimeState};
 use crate::scenario::{AuthMode, CommsMode, ControllerKind, Scenario};
 use crate::trace::{TraceDetail, TracePhase, TraceRecord, Tracer};
 use crate::world::{AuthMaterial, CommState, HeardPeer, PlatoonLayout, Rsu, VehicleNode, World};
@@ -54,7 +55,7 @@ use platoon_v2x::medium::Receiver;
 use platoon_v2x::message::{ChannelKind, Delivery, Frame, NodeId, Payload, Position};
 use platoon_v2x::spatial::SpatialGrid;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 use std::collections::{HashMap, HashSet};
 
 /// Salt for deriving the trusted authority's key pair from the scenario seed.
@@ -126,6 +127,82 @@ pub trait ObservationSink: std::fmt::Debug {
     fn as_any(&self) -> &dyn std::any::Any;
 }
 
+/// Why an engine could not be snapshotted (or a snapshot could not be
+/// verified): some attached component does not support deep cloning, or a
+/// `clone_box` implementation lost state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotError {
+    component: String,
+}
+
+impl SnapshotError {
+    fn new(component: impl Into<String>) -> Self {
+        SnapshotError {
+            component: component.into(),
+        }
+    }
+
+    /// The component that refused to snapshot, e.g. ``attack `replay` ``.
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "engine cannot be snapshotted: {}", self.component)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A frozen, verified copy of a running engine.
+///
+/// Produced by [`Engine::snapshot`]; [`restore`](Self::restore) hands back
+/// a fresh engine that continues byte-identically to the original — same
+/// rng stream, same trace digest, same [`RunSummary`] — at any worker
+/// thread count. The snapshot stores a canonical [`digest`](Self::digest)
+/// of the captured state and re-verifies it on every restore, so silent
+/// divergence (a component whose clone loses state) fails loudly instead
+/// of producing subtly different results.
+#[derive(Debug)]
+pub struct EngineSnapshot {
+    engine: Engine,
+    digest: u64,
+}
+
+impl EngineSnapshot {
+    /// Canonical digest of the captured state (see
+    /// [`Engine::state_digest`]).
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// The communication step the snapshot was taken at.
+    pub fn tick(&self) -> u64 {
+        self.engine.steps_run
+    }
+
+    /// Rehydrates a runnable engine from the snapshot. The snapshot stays
+    /// valid — restore as many times as needed (each restore re-clones).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the re-clone is refused or the rehydrated engine's digest
+    /// no longer matches the one captured at snapshot time.
+    pub fn restore(&self) -> Result<Engine, SnapshotError> {
+        let engine = self.engine.try_clone()?;
+        let digest = engine.state_digest();
+        if digest != self.digest {
+            return Err(SnapshotError::new(format!(
+                "restored digest {digest:016x} != snapshot digest {:016x}",
+                self.digest
+            )));
+        }
+        Ok(engine)
+    }
+}
+
 /// The simulation engine.
 #[derive(Debug)]
 pub struct Engine {
@@ -158,6 +235,8 @@ pub struct Engine {
     /// Next platoon id to assign on splits.
     next_platoon_id: u32,
     steps_run: u64,
+    /// Driving-regime bookkeeping (active phase, applied channel deltas).
+    regime: RegimeState,
     /// Previous step's service state, for edge-triggered outage events.
     service_was_down: Vec<bool>,
     /// Reusable per-step buffers (see [`StepScratch`]).
@@ -293,6 +372,7 @@ impl Engine {
             truth: None,
             next_platoon_id: platoons as u32 + 1,
             steps_run: 0,
+            regime: RegimeState::default(),
             threads: 1,
             medium_pairs: 0,
             service_was_down: vec![false; n],
@@ -634,9 +714,17 @@ impl Engine {
     }
 
     /// Runs the scenario to completion and returns the summary.
+    ///
+    /// The tick count comes from [`steps_for`], which is exact on whole
+    /// multiples of the step and truncates partial ticks — the previous
+    /// `round()` derivation simulated a full extra tick whenever the
+    /// duration landed on a half-step. The loop resumes from
+    /// [`steps_run`](Self::steps_run) rather than always stepping the full
+    /// count, so a restored snapshot continues to the scheduled end instead
+    /// of overshooting it.
     pub fn run(&mut self) -> RunSummary {
-        let steps = (self.scenario.duration / self.scenario.comm_step).round() as u64;
-        for _ in 0..steps {
+        let total = steps_for(self.scenario.duration, self.scenario.comm_step);
+        while self.steps_run < total {
             self.step();
         }
         self.restore_faults();
@@ -653,12 +741,245 @@ impl Engine {
         for fault in self.faults.iter_mut() {
             fault.restore(&mut self.world);
         }
+        // The regime layer tracks its channel deltas the same way faults
+        // do; hand the medium back at its scenario baseline too.
+        self.world.medium.dsrc.noise_floor_dbm -= self.regime.applied_noise_db;
+        self.regime.applied_noise_db = 0.0;
+        self.world.medium.vlc.ambient_outage_prob -= self.regime.applied_vlc_outage;
+        self.regime.applied_vlc_outage = 0.0;
+    }
+
+    /// Applies the scenario's regime plan for the tick about to run:
+    /// announces phase transitions (trace + detector pipeline), retargets
+    /// the channel noise environment delta-style, and decides whether
+    /// members beacon this tick. Runs *before* Phase 0 so faults and
+    /// attacks act on the already-retargeted environment.
+    fn apply_regime(&mut self, tick: u64, now: f64) {
+        let Some(plan) = &self.scenario.regimes else {
+            self.regime.beacon_this_tick = true;
+            return;
+        };
+        let (idx, start_tick) = plan.phase_at(tick, self.scenario.comm_step);
+        let phase = &plan.phases[idx];
+        let beacon_every = phase.beacon_every;
+        let noise_db = phase.noise_extra_db;
+        if self.regime.phase != Some(idx) {
+            let label = phase.label.clone();
+            self.regime.phase = Some(idx);
+            self.regime.phase_start_tick = start_tick;
+            Self::trace_into(
+                &mut self.tracer,
+                tick,
+                now,
+                TracePhase::Regime,
+                TraceDetail::RegimeEnter {
+                    label: label.clone(),
+                },
+            );
+            if let Some(pipeline) = self.pipeline.as_mut() {
+                pipeline.on_regime(&label);
+            }
+        }
+        // Delta application, exactly like `NoiseFloorRamp`: add the change
+        // relative to what this layer already applied, so regime noise and
+        // fault-injected noise compose without clobbering each other.
+        self.world.medium.dsrc.noise_floor_dbm += noise_db - self.regime.applied_noise_db;
+        self.regime.applied_noise_db = noise_db;
+        // The optical channel has no RF noise floor; weather/tunnel dB map
+        // onto ambient-outage probability so every active medium degrades.
+        let vlc_outage = noise_db * platoon_v2x::vlc::VLC_OUTAGE_PER_DB;
+        self.world.medium.vlc.ambient_outage_prob += vlc_outage - self.regime.applied_vlc_outage;
+        self.regime.applied_vlc_outage = vlc_outage;
+        self.regime.beacon_this_tick = (tick - start_tick).is_multiple_of(beacon_every);
+    }
+
+    /// Captures the full run state — world, rng, metrics, detector
+    /// pipeline, tracer, fault/attack/defense internals — as a verified
+    /// [`EngineSnapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when any attached component does not support deep cloning
+    /// (its `clone_box` returns `None`), when an observation sink is
+    /// attached (the sink is a side channel the snapshot cannot carry —
+    /// re-attach it to the restored engine instead), or when the captured
+    /// copy's digest disagrees with the live engine's (a `clone_box`
+    /// implementation lost state).
+    pub fn snapshot(&self) -> Result<EngineSnapshot, SnapshotError> {
+        let digest = self.state_digest();
+        let engine = self.try_clone()?;
+        let cloned = engine.state_digest();
+        if cloned != digest {
+            return Err(SnapshotError::new(format!(
+                "captured digest {cloned:016x} != live digest {digest:016x}"
+            )));
+        }
+        Ok(EngineSnapshot { engine, digest })
+    }
+
+    /// Deep-clones the engine, component by component. Trait objects go
+    /// through their `clone_box` hooks; the first component that refuses
+    /// names itself in the error. Scratch buffers are *not* copied — they
+    /// are cleared before every use, so a fresh default is equivalent.
+    pub fn try_clone(&self) -> Result<Engine, SnapshotError> {
+        if self.obs_sink.is_some() {
+            // The sink taps the observation stream without being part of
+            // the simulation state; a clone could not carry it and the
+            // tapped rows would silently stop. Refuse instead.
+            return Err(SnapshotError::new(
+                "observation sink (re-attach it to the restored engine)",
+            ));
+        }
+        let world = self.world.try_clone().map_err(SnapshotError::new)?;
+        let mut attacks: Vec<Box<dyn Attack>> = Vec::with_capacity(self.attacks.len());
+        for attack in &self.attacks {
+            attacks.push(
+                attack
+                    .clone_box()
+                    .ok_or_else(|| SnapshotError::new(format!("attack `{}`", attack.name())))?,
+            );
+        }
+        let mut defenses: Vec<Box<dyn Defense>> = Vec::with_capacity(self.defenses.len());
+        for defense in &self.defenses {
+            defenses.push(
+                defense
+                    .clone_box()
+                    .ok_or_else(|| SnapshotError::new(format!("defense `{}`", defense.name())))?,
+            );
+        }
+        let mut faults: Vec<Box<dyn Fault>> = Vec::with_capacity(self.faults.len());
+        for fault in &self.faults {
+            faults.push(
+                fault
+                    .clone_box()
+                    .ok_or_else(|| SnapshotError::new(format!("fault `{}`", fault.name())))?,
+            );
+        }
+        let pipeline = match &self.pipeline {
+            Some(p) => Some(
+                p.try_clone()
+                    .ok_or_else(|| SnapshotError::new("detector pipeline"))?,
+            ),
+            None => None,
+        };
+        let tracer = match &self.tracer {
+            Some(t) => Some(t.clone_box().ok_or_else(|| SnapshotError::new("tracer"))?),
+            None => None,
+        };
+        Ok(Engine {
+            scenario: self.scenario.clone(),
+            world,
+            ca: self.ca.clone(),
+            group_key: self.group_key,
+            maneuvers: self.maneuvers.clone(),
+            attacks,
+            defenses,
+            faults,
+            metrics: self.metrics.clone(),
+            events: self.events.clone(),
+            rng: self.rng.clone(),
+            outbox: self.outbox.clone(),
+            claimed_positions: self.claimed_positions.clone(),
+            rejected_messages: self.rejected_messages,
+            detections: self.detections,
+            pipeline,
+            obs_sink: None,
+            truth: self.truth.clone(),
+            next_platoon_id: self.next_platoon_id,
+            steps_run: self.steps_run,
+            regime: self.regime.clone(),
+            service_was_down: self.service_was_down.clone(),
+            scratch: StepScratch::default(),
+            perf: self.perf,
+            tracer,
+            threads: self.threads,
+            medium_pairs: self.medium_pairs,
+        })
+    }
+
+    /// A canonical FNV-1a digest over the engine's run-visible state:
+    /// tick/time, the rng stream position (probed by cloning — the live
+    /// stream is untouched), per-vehicle kinematics and protocol counters,
+    /// the channel environment, the perf counters, the verdict tallies and
+    /// the trace digest. Two engines with equal digests continue
+    /// byte-identically; the snapshot machinery uses it to verify restores.
+    pub fn state_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut words: Vec<u64> = Vec::with_capacity(24 + self.world.vehicles.len() * 7);
+        words.push(self.steps_run);
+        words.push(self.world.time.to_bits());
+        // Probe the rng position by drawing from a clone: StdRng draws are
+        // a pure function of internal state, so four words pin the stream
+        // without perturbing it.
+        let mut probe = self.rng.clone();
+        for _ in 0..4 {
+            words.push(probe.next_u64());
+        }
+        for v in &self.world.vehicles {
+            words.push(v.vehicle.state.position.to_bits());
+            words.push(v.vehicle.state.speed.to_bits());
+            words.push(v.vehicle.state.accel.to_bits());
+            words.push(v.seq);
+            words.push(v.nonce);
+            words.push(u64::from(v.platoon.0));
+            words.push(u64::from(v.platooning_enabled));
+        }
+        words.push(self.world.medium.dsrc.noise_floor_dbm.to_bits());
+        words.push(self.world.medium.vlc.ambient_outage_prob.to_bits());
+        let p = &self.perf;
+        words.extend([
+            p.ticks,
+            p.frames_built,
+            p.bytes_encoded,
+            p.frame_bytes,
+            p.payload_clones_avoided,
+            p.deliveries,
+            p.detector_observations,
+            p.commands_computed,
+        ]);
+        words.push(self.rejected_messages as u64);
+        words.push(self.detections as u64);
+        words.push(self.medium_pairs);
+        if let Some(tracer) = &self.tracer {
+            let d = tracer.digest();
+            words.extend([d.records, d.dropped, d.hash]);
+        }
+        let mut hash = FNV_OFFSET;
+        for word in words {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(FNV_PRIME);
+            }
+        }
+        hash
+    }
+
+    /// Advances the engine by `ticks` communication steps.
+    ///
+    /// This is checkpoint *catch-up*, not simulation skipping: every tick
+    /// draws from the rng stream and feeds detector hysteresis, so a
+    /// restored engine must replay the exact per-tick computation to stay
+    /// byte-identical to an uninterrupted run — which this does, in a
+    /// tight loop. Combined with [`snapshot`](Self::snapshot)/
+    /// [`EngineSnapshot::restore`] it gives interrupt-and-resume semantics:
+    /// the resumed run's [`RunSummary`], trace digest and
+    /// [`PerfCounters`] match the straight-through run byte for byte at
+    /// any worker thread count.
+    pub fn fast_forward(&mut self, ticks: u64) {
+        for _ in 0..ticks {
+            self.step();
+        }
     }
 
     /// Advances one communication step.
     pub fn step(&mut self) {
         let now = self.world.time;
         let tick = self.steps_run;
+
+        // Pre-phase: driving-regime retargeting (noise environment, beacon
+        // cadence, phase-transition announcements).
+        self.apply_regime(tick, now);
 
         // Phase 0: benign environment degradation (faults precede
         // adversaries, so attacks act on the already-degraded world).
@@ -685,9 +1006,11 @@ impl Engine {
         let mut frames = std::mem::take(&mut self.scratch.frames);
         frames.clear();
         self.build_outgoing_frames(now, &mut frames);
-        for v in self.world.vehicles.iter() {
-            if v.platooning_enabled {
-                self.metrics.links.record_offer(v.node);
+        if self.regime.beacon_this_tick {
+            for v in self.world.vehicles.iter() {
+                if v.platooning_enabled {
+                    self.metrics.links.record_offer(v.node);
+                }
             }
         }
         let honest_frames = frames.len() as u64;
@@ -883,8 +1206,10 @@ impl Engine {
             CommsMode::HybridCv2x => Some(ChannelKind::CV2x),
         };
 
-        // Beacons from every operational vehicle.
-        if self.threads > 1 {
+        // Beacons from every operational vehicle. A regime phase with a
+        // beacon cadence divisor (congestion-control backoff) silences
+        // whole ticks; manoeuvre traffic in the outbox below still goes out.
+        if self.regime.beacon_this_tick && self.threads > 1 {
             // Sharded sealing. The rng-consuming half (GPS measurement,
             // seq/nonce counters) runs sequentially in vehicle order first —
             // exactly the draws the sequential loop makes — then the pure
@@ -935,7 +1260,7 @@ impl Engine {
                 }
             }
             self.scratch.seal_jobs = jobs;
-        } else {
+        } else if self.regime.beacon_this_tick {
             for v in self.world.vehicles.iter_mut() {
                 if !v.platooning_enabled {
                     continue;
@@ -972,7 +1297,7 @@ impl Engine {
         // leader beacon it holds down the optical chain, so leader data
         // survives RF jamming one hop at a time (Ucar et al. [2]). The
         // relayed frame shares the stored wire image.
-        if comms == CommsMode::HybridVlc {
+        if self.regime.beacon_this_tick && comms == CommsMode::HybridVlc {
             let mut relays = std::mem::take(&mut self.scratch.relays);
             relays.clear();
             relays.extend(
@@ -1733,8 +2058,23 @@ impl Engine {
     /// Fills `commands` (cleared first) with one command per vehicle.
     fn compute_commands(&mut self, now: f64, commands: &mut Vec<f64>) {
         let dt = self.scenario.comm_step;
-        let profile = self.scenario.profile;
-        let desired_gap = self.scenario.desired_gap;
+        // The active regime phase may retarget the leader profile (at
+        // phase-local time, so each phase's profile starts from its own
+        // t=0) and the commanded gap. Control follows the phase; spacing
+        // metrics stay relative to the scenario's nominal gap.
+        let mut profile = self.scenario.profile;
+        let mut desired_gap = self.scenario.desired_gap;
+        let mut profile_now = now;
+        if let (Some(plan), Some(idx)) = (&self.scenario.regimes, self.regime.phase) {
+            let phase = &plan.phases[idx];
+            if let Some(p) = phase.profile {
+                profile = p;
+                profile_now = now - self.regime.phase_start_tick as f64 * self.scenario.comm_step;
+            }
+            if let Some(gap) = phase.desired_gap {
+                desired_gap = gap;
+            }
+        }
         let n = self.world.vehicles.len();
         commands.clear();
         commands.resize(n, 0.0);
@@ -1761,7 +2101,7 @@ impl Engine {
                 // profile directly; split-off leaders run the cruise
                 // controller frozen at their split-time speed.
                 if idx == 0 {
-                    let target = profile.target_speed(now);
+                    let target = profile.target_speed(profile_now);
                     let speed = self.world.vehicles[idx].vehicle.state.speed;
                     commands[idx] = 0.8 * (target - speed);
                 } else {

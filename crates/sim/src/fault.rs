@@ -50,6 +50,13 @@ pub trait Fault: Debug {
 
     /// Downcasting support for inspecting fault state after a run.
     fn as_any(&self) -> &dyn Any;
+
+    /// Clones the fault (including accumulated delta/saved state) into a
+    /// fresh box, for engine snapshots. `None` means the fault does not
+    /// support snapshotting; engines carrying it cannot be checkpointed.
+    fn clone_box(&self) -> Option<Box<dyn Fault>> {
+        None
+    }
 }
 
 /// The no-op fault (a placeholder analogous to
@@ -66,6 +73,10 @@ impl Fault for NoFault {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn clone_box(&self) -> Option<Box<dyn Fault>> {
+        Some(Box::new(*self))
     }
 }
 

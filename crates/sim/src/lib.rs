@@ -51,6 +51,7 @@ pub mod harness;
 pub mod metrics;
 pub mod par;
 pub mod perf;
+pub mod regime;
 pub mod scenario;
 pub mod trace;
 pub mod world;
@@ -60,7 +61,7 @@ pub mod prelude {
     pub use crate::agents::{JoinerAgent, JoinerCredentials, JoinerOutcome};
     pub use crate::attack::{Attack, NoAttack, SecurityAttribute};
     pub use crate::defense::{Defense, DetectionEvent, NoDefense, RejectReason};
-    pub use crate::engine::{Engine, ObservationSink};
+    pub use crate::engine::{Engine, EngineSnapshot, ObservationSink, SnapshotError};
     pub use crate::events::{Event, EventLog, LoggedEvent};
     pub use crate::fault::{Fault, NoFault};
     pub use crate::harness::{derive_seed, Batch, BatchEntry, BatchJob, BatchReport, JobOutcome};
@@ -68,6 +69,7 @@ pub mod prelude {
         per_frame_ratio, score_alerts, DetectionSummary, MetricsCollector, RunSummary, TruthLabels,
     };
     pub use crate::perf::PerfCounters;
+    pub use crate::regime::{steps_for, RegimePhase, RegimePlan};
     pub use crate::scenario::{AuthMode, CommsMode, ControllerKind, Scenario, ScenarioBuilder};
     pub use crate::trace::{TraceDetail, TraceDigest, TracePhase, TraceRecord, Tracer};
     pub use crate::world::{

@@ -4,6 +4,7 @@
 //! defenses, which are plugged into the engine separately so every
 //! experiment can ablate them independently.
 
+use crate::regime::RegimePlan;
 use platoon_dynamics::profiles::SpeedProfile;
 use platoon_dynamics::vehicle::VehicleParams;
 use platoon_proto::maneuver::ManeuverConfig;
@@ -92,6 +93,10 @@ pub struct Scenario {
     /// Bumper-to-bumper distance between consecutive platoons in metres
     /// (only meaningful when [`Self::platoons`] > 1).
     pub platoon_spacing: f64,
+    /// Piecewise driving-regime schedule (cruise → congestion →
+    /// stop-and-go → tunnel, …). `None` keeps the single static regime.
+    #[serde(default)]
+    pub regimes: Option<RegimePlan>,
 }
 
 impl Default for Scenario {
@@ -129,6 +134,7 @@ impl Scenario {
                 max_platoon_size: 16,
                 platoons: 1,
                 platoon_spacing: 150.0,
+                regimes: None,
             },
         }
     }
@@ -245,6 +251,14 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Attaches a piecewise driving-regime plan; phases retarget the
+    /// leader profile, gap, channel noise and beacon cadence at
+    /// deterministic tick boundaries.
+    pub fn regimes(mut self, plan: RegimePlan) -> Self {
+        self.scenario.regimes = Some(plan);
+        self
+    }
+
     /// Sets the medium's radio horizon in metres: beyond this distance
     /// frames are treated as undetectable and the medium switches from the
     /// all-pairs scan to a spatial-grid index. `f64::INFINITY` (the
@@ -282,6 +296,11 @@ impl ScenarioBuilder {
             s.platoon_spacing.is_finite() && s.platoon_spacing >= 0.0,
             "platoon spacing must be finite and non-negative"
         );
+        if let Some(plan) = &s.regimes {
+            if let Err(msg) = plan.validate() {
+                panic!("invalid regime plan: {msg}");
+            }
+        }
         s
     }
 }

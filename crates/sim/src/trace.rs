@@ -24,6 +24,9 @@ use std::any::Any;
 /// The engine phase a trace record was emitted from, in step order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TracePhase {
+    /// Pre-phase: driving-regime phase transitions (emitted only when the
+    /// scenario carries a [`RegimePlan`](crate::regime::RegimePlan)).
+    Regime,
     /// Phase 0: benign fault application.
     Fault,
     /// Phase 1–2: adversary world mutation and on-air frame tampering.
@@ -42,6 +45,7 @@ impl TracePhase {
     /// Stable lowercase name used in the canonical JSONL encoding.
     pub fn name(&self) -> &'static str {
         match self {
+            TracePhase::Regime => "regime",
             TracePhase::Fault => "fault",
             TracePhase::Attack => "attack",
             TracePhase::Medium => "medium",
@@ -55,6 +59,11 @@ impl TracePhase {
 /// What happened — the phase-specific payload of a [`TraceRecord`].
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum TraceDetail {
+    /// A driving-regime phase became active this tick.
+    RegimeEnter {
+        /// The phase's label from the plan.
+        label: String,
+    },
     /// A plugged-in fault's `apply` hook ran this tick.
     FaultApplied {
         /// The fault's stable name.
@@ -110,6 +119,7 @@ impl TraceDetail {
     /// Stable kind tag used in the canonical JSONL encoding.
     pub fn kind(&self) -> &'static str {
         match self {
+            TraceDetail::RegimeEnter { .. } => "regime_enter",
             TraceDetail::FaultApplied { .. } => "fault_applied",
             TraceDetail::AttackFrames { .. } => "attack_frames",
             TraceDetail::MediumStep { .. } => "medium_step",
@@ -149,6 +159,9 @@ impl TraceRecord {
             w.field_obj("detail", |w| {
                 w.field_str("kind", self.detail.kind());
                 match &self.detail {
+                    TraceDetail::RegimeEnter { label } => {
+                        w.field_str("label", label);
+                    }
                     TraceDetail::FaultApplied { fault } => {
                         w.field_str("fault", fault);
                     }
@@ -235,6 +248,13 @@ pub trait Tracer: std::fmt::Debug + Send {
 
     /// Downcasting support (extract a concrete recorder after a run).
     fn as_any(&self) -> &dyn Any;
+
+    /// Clones the tracer (including every record buffered so far) into a
+    /// fresh box, for engine snapshots. `None` means the tracer does not
+    /// support snapshotting; engines carrying it cannot be checkpointed.
+    fn clone_box(&self) -> Option<Box<dyn Tracer>> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +314,7 @@ mod tests {
     #[test]
     fn phase_names_are_stable_and_distinct() {
         let phases = [
+            TracePhase::Regime,
             TracePhase::Fault,
             TracePhase::Attack,
             TracePhase::Medium,
@@ -304,7 +325,7 @@ mod tests {
         let names: Vec<&str> = phases.iter().map(TracePhase::name).collect();
         assert_eq!(
             names,
-            ["fault", "attack", "medium", "defense", "detector", "dynamics"]
+            ["regime", "fault", "attack", "medium", "defense", "detector", "dynamics"]
         );
     }
 

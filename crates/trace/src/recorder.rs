@@ -120,6 +120,10 @@ impl Tracer for TraceRecorder {
     fn as_any(&self) -> &dyn Any {
         self
     }
+
+    fn clone_box(&self) -> Option<Box<dyn Tracer>> {
+        Some(Box::new(self.clone()))
+    }
 }
 
 #[cfg(test)]

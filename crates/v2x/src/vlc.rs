@@ -16,6 +16,17 @@ use crate::message::{distance, Position};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// Ambient-outage probability the optical link gains per decibel of
+/// environmental noise-floor degradation.
+///
+/// The optical channel has no RF noise floor, so tunnel/weather conditions
+/// that raise `DsrcPhy::noise_floor_dbm` degrade VLC through a different
+/// physical path: dust, fog, and scattered light raise the per-frame
+/// ambient-outage rate instead. Environmental faults and regime phases
+/// that degrade "the channel" use this shared exchange rate so hybrid
+/// RF+VLC scenarios cannot silently escape degradation.
+pub const VLC_OUTAGE_PER_DB: f64 = 0.02;
+
 /// Parameters of the optical link.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct VlcPhy {

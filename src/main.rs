@@ -6,6 +6,7 @@
 //! cargo run --release -- trace --quick       # traced run → TRACE_quick.jsonl
 //! cargo run --release -- trace-diff A B      # first diverging tick/phase
 //! cargo run --release -- corridor --quick    # corridor grid → CORRIDOR_quick.json
+//! cargo run --release -- regimes --quick     # regime grid → REGIME_quick.json
 //! cargo run --release -- serve               # persistent job server w/ result cache
 //! cargo run --release -- submit --experiment smoke --quick  # batch via the server
 //! cargo run --release -- campaign --quick    # stealth-vs-damage search → CAMPAIGN_quick.json
@@ -27,6 +28,9 @@ fn main() {
         Some("corridor") => {
             std::process::exit(platoon_core::experiments::corridor::cli_main(&args[1..]))
         }
+        Some("regimes") => {
+            std::process::exit(platoon_core::experiments::regimes::cli_main(&args[1..]))
+        }
         Some("trace-diff") => {
             std::process::exit(platoon_core::experiments::trace::diff_cli_main(&args[1..]))
         }
@@ -47,6 +51,9 @@ fn main() {
                  \x20 corridor [options]    highway-scale multi-platoon corridor, written to\n\
                  \x20                       CORRIDOR_<label>.json + BENCH_corridor_<label>.json\n\
                  \x20                       (see `corridor --help`)\n\
+                 \x20 regimes [options]     detection quality across driving regimes (cruise →\n\
+                 \x20                       congestion → stop-and-go → tunnel), written to\n\
+                 \x20                       REGIME_<label>.json (see `regimes --help`)\n\
                  \x20 serve [options]       persistent job server with a content-addressed\n\
                  \x20                       result cache (see `serve --help`)\n\
                  \x20 submit [options]      submit an experiment grid to the server (or\n\
